@@ -1,0 +1,207 @@
+// Benchmarks regenerating the paper's evaluation, one per table and
+// figure. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports the paper's headline quantity as custom metrics
+// (dynamic instructions, spill percentages, allocation microseconds) in
+// addition to Go's timing of the full pipeline.
+package regalloc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/experiments"
+	"repro/internal/progs"
+	"repro/internal/target"
+	"repro/internal/vm"
+)
+
+const benchScale = 0.25 // workload scale for benchmarks (1.0 = full tables)
+
+func benchAllocator(b *testing.B, bench *progs.Benchmark, mk func(*target.Machine) alloc.Allocator) {
+	mach := target.Alpha()
+	var last vm.Counters
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scale := int(float64(bench.DefaultScale) * benchScale)
+		if scale < 1 {
+			scale = 1
+		}
+		c, _, err := experiments.RunBench(bench, mach, scale, mk(mach))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = c
+	}
+	b.ReportMetric(float64(last.Total), "dyn-instrs")
+	b.ReportMetric(float64(last.Cycles), "sim-cycles")
+	b.ReportMetric(100*float64(last.SpillOverhead())/float64(last.Total), "spill-%")
+}
+
+// BenchmarkTable1 regenerates Table 1: every suite benchmark under
+// second-chance binpacking and under graph coloring.
+func BenchmarkTable1(b *testing.B) {
+	for _, bench := range progs.Suite() {
+		bench := bench
+		b.Run(bench.Name+"/binpack", func(b *testing.B) {
+			benchAllocator(b, bench, experiments.Binpack)
+		})
+		b.Run(bench.Name+"/coloring", func(b *testing.B) {
+			benchAllocator(b, bench, experiments.GraphColoring)
+		})
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2's spill percentages over the
+// spill-relevant benchmarks (the spill-free ones are covered by Table 1).
+func BenchmarkTable2(b *testing.B) {
+	for _, name := range []string{"doduc", "fpppp", "wc"} {
+		bench := progs.Named(name)
+		b.Run(name+"/binpack", func(b *testing.B) {
+			benchAllocator(b, bench, experiments.Binpack)
+		})
+		b.Run(name+"/coloring", func(b *testing.B) {
+			benchAllocator(b, bench, experiments.GraphColoring)
+		})
+	}
+}
+
+// BenchmarkFigure3 regenerates the Figure 3 spill-composition data for
+// the six spill-heavy benchmarks and reports the evict/resolve split.
+func BenchmarkFigure3(b *testing.B) {
+	mach := target.Alpha()
+	for _, name := range experiments.Figure3Benchmarks {
+		bench := progs.Named(name)
+		for _, scheme := range []struct {
+			suffix string
+			mk     func(*target.Machine) alloc.Allocator
+		}{
+			{"b", experiments.Binpack},
+			{"c", experiments.GraphColoring},
+		} {
+			b.Run(name+"-"+scheme.suffix, func(b *testing.B) {
+				var last vm.Counters
+				for i := 0; i < b.N; i++ {
+					scale := int(float64(bench.DefaultScale) * benchScale)
+					if scale < 1 {
+						scale = 1
+					}
+					c, _, err := experiments.RunBench(bench, mach, scale, scheme.mk(mach))
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = c
+				}
+				evict := last.ByTag[1] + last.ByTag[2] + last.ByTag[3]
+				resolve := last.ByTag[4] + last.ByTag[5] + last.ByTag[6]
+				b.ReportMetric(float64(evict), "evict-ops")
+				b.ReportMetric(float64(resolve), "resolve-ops")
+			})
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: allocation-core time for both
+// allocators as the candidate count grows. The headline claim — coloring
+// degrades sharply with interference-graph size while linear scan stays
+// near-linear — shows up directly in the ns/op column.
+func BenchmarkTable3(b *testing.B) {
+	mach := target.Alpha()
+	for _, mod := range progs.Table3Modules(mach) {
+		mod := mod
+		for _, scheme := range []struct {
+			name string
+			mk   func(*target.Machine) alloc.Allocator
+		}{
+			{"coloring", experiments.GraphColoring},
+			{"binpack", experiments.Binpack},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", mod.Name, scheme.name), func(b *testing.B) {
+				a := scheme.mk(mach)
+				var edges, cands int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					edges, cands = 0, 0
+					for _, p := range mod.Prog.Procs {
+						if p.Name == "main" {
+							continue
+						}
+						res, err := a.Allocate(p)
+						if err != nil {
+							b.Fatal(err)
+						}
+						edges += res.Stats.InterferenceEdges
+						cands += res.Stats.Candidates
+					}
+				}
+				b.ReportMetric(float64(cands), "candidates")
+				if edges > 0 {
+					b.ReportMetric(float64(edges), "iedges")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationTwoPass regenerates the §3.1 comparison: second-chance
+// vs. two-pass binpacking on wc (the paper reports two-pass 38% slower)
+// and eqntott (identical).
+func BenchmarkAblationTwoPass(b *testing.B) {
+	for _, name := range []string{"wc", "eqntott"} {
+		bench := progs.Named(name)
+		b.Run(name+"/second-chance", func(b *testing.B) {
+			benchAllocator(b, bench, experiments.Binpack)
+		})
+		b.Run(name+"/two-pass", func(b *testing.B) {
+			benchAllocator(b, bench, experiments.TwoPass)
+		})
+	}
+}
+
+// BenchmarkAblationMoveOpt measures the §2.5 move optimization on the
+// call-intensive li workload (parameter-move elimination).
+func BenchmarkAblationMoveOpt(b *testing.B) {
+	bench := progs.Named("li")
+	b.Run("with-moveopt", func(b *testing.B) {
+		benchAllocator(b, bench, experiments.Binpack)
+	})
+	b.Run("without-moveopt", func(b *testing.B) {
+		benchAllocator(b, bench, func(m *target.Machine) alloc.Allocator {
+			o := experiments.BinpackOptionsNoMoveOpt()
+			return experiments.NewBinpack(m, o)
+		})
+	})
+}
+
+// BenchmarkAblationEarlySecondChance measures §2.5's eviction moves on
+// wc, where they rescue the hot working set at the phase transition.
+func BenchmarkAblationEarlySecondChance(b *testing.B) {
+	bench := progs.Named("wc")
+	b.Run("with-esc", func(b *testing.B) {
+		benchAllocator(b, bench, experiments.Binpack)
+	})
+	b.Run("without-esc", func(b *testing.B) {
+		benchAllocator(b, bench, func(m *target.Machine) alloc.Allocator {
+			o := experiments.BinpackOptionsNoESC()
+			return experiments.NewBinpack(m, o)
+		})
+	})
+}
+
+// BenchmarkAblationStrictLinear measures the §2.6 strictly-linear
+// consistency mode against the iterative dataflow default.
+func BenchmarkAblationStrictLinear(b *testing.B) {
+	bench := progs.Named("fpppp")
+	b.Run("iterative-dataflow", func(b *testing.B) {
+		benchAllocator(b, bench, experiments.Binpack)
+	})
+	b.Run("strict-linear", func(b *testing.B) {
+		benchAllocator(b, bench, func(m *target.Machine) alloc.Allocator {
+			o := experiments.BinpackOptionsStrictLinear()
+			return experiments.NewBinpack(m, o)
+		})
+	})
+}

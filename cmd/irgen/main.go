@@ -1,0 +1,50 @@
+// Command irgen prints seeded random IR programs — a fuzz corpus
+// generator for eyeballing what the property tests feed the allocators.
+//
+//	irgen -seed 7 -machine tiny:6,4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/progs"
+	"repro/internal/target"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 0, "generator seed")
+		machine = flag.String("machine", "alpha", "alpha | tiny:<ints>,<floats>")
+		stmts   = flag.Int("stmts", 60, "approximate statement budget")
+		ints    = flag.Int("ints", 12, "integer temporary pool")
+		floats  = flag.Int("floats", 6, "float temporary pool")
+	)
+	flag.Parse()
+
+	var mach *target.Machine
+	if *machine == "alpha" {
+		mach = target.Alpha()
+	} else if rest, ok := strings.CutPrefix(*machine, "tiny:"); ok {
+		var ni, nf int
+		if _, err := fmt.Sscanf(rest, "%d,%d", &ni, &nf); err != nil {
+			fmt.Fprintln(os.Stderr, "irgen: bad -machine")
+			os.Exit(2)
+		}
+		mach = target.Tiny(ni, nf)
+	} else {
+		fmt.Fprintln(os.Stderr, "irgen: unknown -machine")
+		os.Exit(2)
+	}
+
+	cfg := progs.DefaultGen(*seed)
+	cfg.Stmts = *stmts
+	cfg.IntTemps = *ints
+	cfg.FloatTemps = *floats
+	prog := progs.Random(mach, cfg)
+	pr := &ir.Printer{Mach: mach}
+	pr.WriteProgram(os.Stdout, prog)
+}

@@ -1,0 +1,125 @@
+// Command lsra-bench regenerates the tables and figures of the paper's
+// evaluation section on the Alpha-like simulated machine:
+//
+//	lsra-bench -table1     dynamic instruction counts & simulated cycles
+//	lsra-bench -table2     spill code as a percentage of dynamic instructions
+//	lsra-bench -figure3    spill-code composition, normalized to binpacking
+//	lsra-bench -table3     allocation times vs. candidate counts
+//	lsra-bench -ablation   §3.1 two-pass comparison and feature ablations
+//	lsra-bench -all        everything
+//
+// Use -scale to shrink or grow the workloads (1.0 reproduces the default
+// experiment size).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/target"
+)
+
+func main() {
+	var (
+		t1    = flag.Bool("table1", false, "regenerate Table 1")
+		t2    = flag.Bool("table2", false, "regenerate Table 2")
+		f3    = flag.Bool("figure3", false, "regenerate Figure 3 data")
+		t3    = flag.Bool("table3", false, "regenerate Table 3")
+		abl   = flag.Bool("ablation", false, "run the two-pass and feature ablations")
+		all   = flag.Bool("all", false, "run everything")
+		scale = flag.Float64("scale", 1.0, "workload scale multiplier")
+	)
+	flag.Parse()
+	if *all {
+		*t1, *t2, *f3, *t3, *abl = true, true, true, true, true
+	}
+	if !*t1 && !*t2 && !*f3 && !*t3 && !*abl {
+		flag.Usage()
+		os.Exit(2)
+	}
+	mach := target.Alpha()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "lsra-bench:", err)
+		os.Exit(1)
+	}
+
+	if *t1 {
+		rows, err := experiments.Table1(mach, *scale)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println("Table 1: dynamic instruction counts and simulated cycles")
+		fmt.Println("(ratio > 1 means poorer binpacking code, as in the paper)")
+		fmt.Printf("%-10s %14s %14s %7s %14s %14s %7s\n",
+			"benchmark", "binpack", "coloring", "ratio", "bp-cycles", "gc-cycles", "ratio")
+		for _, r := range rows {
+			fmt.Printf("%-10s %14d %14d %7.3f %14d %14d %7.3f\n",
+				r.Benchmark, r.BinpackInstrs, r.ColoringInstrs, r.InstrRatio,
+				r.BinpackCycles, r.ColoringCycles, r.CycleRatio)
+		}
+		fmt.Println()
+	}
+
+	if *t2 {
+		rows, err := experiments.Table2(mach, *scale)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println("Table 2: percentage of dynamic instructions that are spill code")
+		fmt.Printf("%-10s %12s %12s\n", "benchmark", "binpack", "coloring")
+		for _, r := range rows {
+			fmt.Printf("%-10s %11.3f%% %11.3f%%\n", r.Benchmark, r.BinpackPct, r.ColoringPct)
+		}
+		fmt.Println()
+	}
+
+	if *f3 {
+		rows, err := experiments.Figure3(mach, *scale)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println("Figure 3: spill code composition (dynamic counts; 'norm' is")
+		fmt.Println("the bar height: total spill normalized to binpacking's total)")
+		fmt.Printf("%-12s %10s %10s %10s %10s %10s %10s %7s\n",
+			"bench-scheme", "ev.load", "ev.store", "ev.move", "rs.load", "rs.store", "rs.move", "norm")
+		for _, r := range rows {
+			fmt.Printf("%-12s %10d %10d %10d %10d %10d %10d %7.3f\n",
+				r.Benchmark+"-"+r.Scheme,
+				r.EvictLoads, r.EvictStores, r.EvictMoves,
+				r.ResolveLoads, r.ResolveStores, r.ResolveMoves, r.Normalized)
+		}
+		fmt.Println()
+	}
+
+	if *t3 {
+		rows, err := experiments.Table3(mach)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println("Table 3: allocation-core time (best of five) vs. candidates")
+		fmt.Printf("%-10s %12s %14s %14s %14s\n",
+			"module", "candidates", "iedges", "coloring", "binpacking")
+		for _, r := range rows {
+			fmt.Printf("%-10s %12d %14d %14s %14s\n",
+				r.Module, r.Candidates, r.InterferenceEdges, r.ColoringTime, r.BinpackTime)
+		}
+		fmt.Println()
+	}
+
+	if *abl {
+		rows, err := experiments.Ablations(mach, []string{"wc", "eqntott", "li", "fpppp"}, *scale)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println("Ablations (§3.1 two-pass, §2.5 move optimizations, §2.6 strict")
+		fmt.Println("linearity); ratio is relative to the paper configuration")
+		fmt.Printf("%-10s %-34s %14s %12s %7s\n", "benchmark", "variant", "instrs", "spill", "ratio")
+		for _, r := range rows {
+			fmt.Printf("%-10s %-34s %14d %12d %7.3f\n",
+				r.Benchmark, r.Variant, r.Instrs, r.Spill, r.RatioToPaper)
+		}
+	}
+}

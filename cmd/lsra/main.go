@@ -1,0 +1,154 @@
+// Command lsra allocates registers for one of the built-in workloads (or
+// a seeded random program) and prints the allocated code, allocation
+// statistics, and the dynamic execution profile.
+//
+//	lsra -prog wc -algo binpack -dump
+//	lsra -random 7 -algo coloring -machine tiny:6,4
+//	lsra -prog fpppp -algo twopass -scale 2
+//	lsra -file prog.ir -algo binpack -dump
+//
+// Algorithms: binpack (second-chance), twopass, coloring, linearscan.
+// -file reads the textual IR form that cmd/irgen emits (see
+// internal/ir.ParseProgram for the grammar).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	regalloc "repro"
+	"repro/internal/ir"
+	"repro/internal/progs"
+	"repro/internal/target"
+)
+
+func main() {
+	var (
+		progName = flag.String("prog", "", "built-in workload (alvinn doduc eqntott espresso fpppp li tomcatv compress m88ksim sort wc)")
+		file     = flag.String("file", "", "read a textual IR program from this file instead of -prog")
+		random   = flag.Int64("random", -1, "generate a random program with this seed instead of -prog")
+		algo     = flag.String("algo", "binpack", "binpack | twopass | coloring | linearscan")
+		machine  = flag.String("machine", "alpha", "alpha | tiny:<ints>,<floats>")
+		scale    = flag.Int("scale", 1, "workload scale")
+		dump     = flag.Bool("dump", false, "print the allocated code")
+		run      = flag.Bool("run", true, "execute and report dynamic counts")
+	)
+	flag.Parse()
+
+	mach, err := parseMachine(*machine)
+	if err != nil {
+		die(err)
+	}
+
+	var prog *regalloc.Program
+	var input []byte
+	switch {
+	case *file != "":
+		f, err := os.Open(*file)
+		if err != nil {
+			die(err)
+		}
+		prog, err = ir.ParseProgram(f, mach)
+		f.Close()
+		if err != nil {
+			die(err)
+		}
+		if err := ir.ValidateProgram(prog, mach); err != nil {
+			die(err)
+		}
+		input = []byte("file program input stream")
+	case *random >= 0:
+		prog = progs.Random(mach, progs.DefaultGen(*random))
+		input = []byte("lsra random program input stream")
+	case *progName != "":
+		b := progs.Named(*progName)
+		if b == nil {
+			die(fmt.Errorf("unknown workload %q", *progName))
+		}
+		prog = b.Build(mach, *scale)
+		if b.Input != nil {
+			input = b.Input(*scale)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := regalloc.DefaultOptions()
+	switch *algo {
+	case "binpack":
+		opts.Algorithm = regalloc.SecondChance
+	case "twopass":
+		opts.Algorithm = regalloc.TwoPass
+	case "coloring":
+		opts.Algorithm = regalloc.Coloring
+	case "linearscan":
+		opts.Algorithm = regalloc.LinearScan
+	default:
+		die(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	allocated, results, err := regalloc.AllocateProgram(prog, mach, opts)
+	if err != nil {
+		die(err)
+	}
+
+	fmt.Printf("allocator: %v on %s\n", opts.Algorithm, mach.Name)
+	for i, p := range prog.Procs {
+		st := results[i].Stats
+		fmt.Printf("proc %-12s candidates=%-5d spilled=%-4d callee-saved=%-2d core-time=%v\n",
+			p.Name, st.Candidates, st.SpilledTemps, st.UsedCalleeSaved, st.AllocTime)
+		fmt.Printf("  inserted:")
+		for tag := ir.Tag(1); int(tag) < ir.NumTags; tag++ {
+			if n := st.Inserted[tag]; n > 0 {
+				fmt.Printf(" %s=%d", tag, n)
+			}
+		}
+		fmt.Println()
+	}
+	if *dump {
+		for _, p := range allocated.Procs {
+			fmt.Println()
+			fmt.Print(regalloc.DumpProc(p, mach))
+		}
+	}
+	if *run {
+		ref, err := regalloc.Execute(prog, mach, input)
+		if err != nil {
+			die(err)
+		}
+		out, err := regalloc.ExecuteParanoid(allocated, mach, input)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("\ndynamic: %d instructions, %d cycles, %d spill ops (%.3f%%), %d save/restore\n",
+			out.Counters.Total, out.Counters.Cycles, out.Counters.SpillOverhead(),
+			100*float64(out.Counters.SpillOverhead())/float64(out.Counters.Total),
+			out.Counters.SaveRestoreOverhead())
+		if string(ref.Output) != string(out.Output) || ref.RetValue != out.RetValue {
+			die(fmt.Errorf("MISMATCH: allocated output differs from reference"))
+		}
+		fmt.Printf("output matches reference (%d bytes, ret %d)\n", len(out.Output), out.RetValue)
+	}
+}
+
+func parseMachine(s string) (*regalloc.Machine, error) {
+	if s == "alpha" {
+		return regalloc.Alpha(), nil
+	}
+	if rest, ok := strings.CutPrefix(s, "tiny:"); ok {
+		var ni, nf int
+		if _, err := fmt.Sscanf(rest, "%d,%d", &ni, &nf); err != nil {
+			return nil, fmt.Errorf("bad machine %q (want tiny:<ints>,<floats>)", s)
+		}
+		return target.Tiny(ni, nf), nil
+	}
+	return nil, fmt.Errorf("unknown machine %q", s)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "lsra:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Compare: run all four allocators over the paper's benchmark suite and
+// print a quality/compile-speed comparison — a miniature of the paper's
+// whole evaluation.
+//
+//	go run ./examples/compare [-scale 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	regalloc "repro"
+	"repro/internal/progs"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "workload scale multiplier")
+	flag.Parse()
+
+	mach := regalloc.Alpha()
+	algos := []regalloc.Algorithm{
+		regalloc.SecondChance,
+		regalloc.TwoPass,
+		regalloc.Coloring,
+		regalloc.LinearScan,
+	}
+
+	fmt.Printf("%-10s", "benchmark")
+	for _, a := range algos {
+		fmt.Printf(" %22s", shortName(a))
+	}
+	fmt.Println()
+	fmt.Printf("%-10s", "")
+	for range algos {
+		fmt.Printf(" %14s %7s", "dyn-instrs", "alloc")
+	}
+	fmt.Println()
+
+	for _, bench := range progs.Suite() {
+		s := int(float64(bench.DefaultScale) * *scale)
+		if s < 1 {
+			s = 1
+		}
+		prog := bench.Build(mach, s)
+		var input []byte
+		if bench.Input != nil {
+			input = bench.Input(s)
+		}
+		fmt.Printf("%-10s", bench.Name)
+		for _, algo := range algos {
+			opts := regalloc.DefaultOptions()
+			opts.Algorithm = algo
+			allocated, results, err := regalloc.AllocateProgram(prog, mach, opts)
+			if err != nil {
+				log.Fatalf("%s under %v: %v", bench.Name, algo, err)
+			}
+			var allocTime time.Duration
+			for _, r := range results {
+				allocTime += r.Stats.AllocTime
+			}
+			out, err := regalloc.ExecuteParanoid(allocated, mach, input)
+			if err != nil {
+				log.Fatalf("%s under %v: %v", bench.Name, algo, err)
+			}
+			fmt.Printf(" %14d %7s", out.Counters.Total, allocTime.Round(10*time.Microsecond))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nalloc = allocator-core wall time; dyn-instrs = executed instructions")
+}
+
+func shortName(a regalloc.Algorithm) string {
+	switch a {
+	case regalloc.SecondChance:
+		return "second-chance"
+	case regalloc.TwoPass:
+		return "two-pass"
+	case regalloc.Coloring:
+		return "coloring"
+	case regalloc.LinearScan:
+		return "linear-scan"
+	}
+	return a.String()
+}

@@ -1,0 +1,116 @@
+// Pressure: visualize the concepts of §2.1–§2.2 — lifetimes, lifetime
+// holes, and register pressure — for the paper's Figure 1 example, and
+// show where the allocator splits lifetimes.
+//
+//	go run ./examples/pressure
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	regalloc "repro"
+	"repro/internal/dataflow"
+	"repro/internal/lifetime"
+)
+
+func main() {
+	mach := regalloc.Tiny(4, 2)
+	b := regalloc.NewBuilder(mach, 8)
+
+	// The CFG of the paper's Figure 1: four temporaries whose lifetimes
+	// interleave so that T3 fits entirely inside T1's hole.
+	pb := b.NewProc("main")
+	t1 := pb.IntTemp("T1")
+	t2 := pb.IntTemp("T2")
+	t3 := pb.IntTemp("T3")
+	t4 := pb.IntTemp("T4")
+
+	_ = pb.Cur() // entry plays the role of B1
+	b2 := pb.Block("B2")
+	b3 := pb.Block("B3")
+	b4 := pb.Block("B4")
+
+	pb.Ldi(t1, 1) // T1 ← ..
+	pb.Ldi(t2, 2) // T2 ← ..
+	c := pb.IntTemp("c")
+	pb.Op2(regalloc.OpCmpLT, c, regalloc.TempOp(t2), regalloc.ImmOp(5))
+	pb.Br(regalloc.TempOp(c), b2, b3)
+
+	pb.StartBlock(b2) // B2: .. ← T1 ; T3 ← T2 ; .. ← T3 ; T4 ← ..
+	u := pb.IntTemp("u")
+	pb.Op2(regalloc.OpAdd, u, regalloc.TempOp(t1), regalloc.ImmOp(0))
+	pb.Mov(t3, regalloc.TempOp(t2))
+	pb.Op2(regalloc.OpAdd, u, regalloc.TempOp(t3), regalloc.ImmOp(1))
+	pb.Ldi(t4, 4)
+	pb.Jmp(b4)
+
+	pb.StartBlock(b3) // B3: T1 ← .. ; T4 ← .. ; .. ← T1
+	pb.Ldi(t1, 10)
+	pb.Ldi(t4, 40)
+	pb.Op2(regalloc.OpAdd, u, regalloc.TempOp(t1), regalloc.ImmOp(2))
+	pb.Jmp(b4)
+
+	pb.StartBlock(b4) // B4: .. ← T4 ; T4 ← .. ; .. ← T4
+	v := pb.IntTemp("v")
+	pb.Op2(regalloc.OpAdd, v, regalloc.TempOp(t4), regalloc.TempOp(u))
+	pb.Ldi(t4, 7)
+	pb.Op2(regalloc.OpAdd, v, regalloc.TempOp(v), regalloc.TempOp(t4))
+	pb.Ret(v)
+
+	p := b.Prog.Proc("main")
+	p.Renumber()
+	lv := dataflow.Compute(p)
+	lt := lifetime.Compute(p, lv)
+
+	fmt.Println("=== lifetimes and holes (positions are linear order) ===")
+	npos := p.NumInstrs()
+	for _, name := range []string{"T1", "T2", "T3", "T4"} {
+		var tmp regalloc.Temp = -1
+		for i := 0; i < p.NumTemps(); i++ {
+			if p.TempName(regalloc.Temp(i)) == name {
+				tmp = regalloc.Temp(i)
+			}
+		}
+		iv := lt.Intervals[tmp]
+		row := make([]byte, npos)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, seg := range iv.Segments {
+			for pp := seg.Start; pp <= seg.End; pp++ {
+				row[pp] = '#'
+			}
+		}
+		if !iv.Empty() {
+			for pp := iv.Start(); pp <= iv.End(); pp++ {
+				if row[pp] == '.' {
+					row[pp] = '-' // a lifetime hole
+				}
+			}
+		}
+		fmt.Printf("%-3s %s   %v\n", name, row, iv)
+	}
+	fmt.Println("    '#' live, '-' lifetime hole, '.' outside lifetime")
+
+	// Per-position register pressure.
+	var sb strings.Builder
+	for pos := 0; pos < npos; pos++ {
+		n := 0
+		for i := 0; i < p.NumTemps(); i++ {
+			if lt.Intervals[i].LiveAt(int32(pos)) {
+				n++
+			}
+		}
+		fmt.Fprintf(&sb, "%d", n)
+	}
+	fmt.Printf("prs %s   (simultaneously live temporaries)\n\n", sb.String())
+
+	res, err := regalloc.AllocateProc(p, mach, regalloc.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== allocation on a 4-integer-register machine ===")
+	fmt.Print(regalloc.DumpProc(res.Proc, mach))
+}

@@ -1,0 +1,167 @@
+package alloc
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/target"
+)
+
+// Assignment records a whole-lifetime allocation decision per temporary:
+// a fixed register, or memory (the classic two-pass model the paper
+// contrasts with second-chance allocation: "assigns a whole lifetime to
+// either memory or register", §3.1).
+type Assignment struct {
+	// Reg maps each temp to its register, or target.NoReg for memory.
+	Reg []target.Reg
+}
+
+// NewAssignment returns an all-memory assignment for p.
+func NewAssignment(p *ir.Proc) *Assignment {
+	a := &Assignment{Reg: make([]target.Reg, p.NumTemps())}
+	for i := range a.Reg {
+		a.Reg[i] = target.NoReg
+	}
+	return a
+}
+
+// ScratchRegs are the per-class registers reserved for references to
+// memory-resident temporaries. The paper models such references as point
+// lifetimes that always receive a register during allocation; reserving
+// two scratch registers per file is the standard engineering equivalent
+// (documented deviation in DESIGN.md) and affects only the baseline
+// allocators.
+type ScratchRegs struct {
+	Int   [2]target.Reg
+	Float [2]target.Reg
+}
+
+// PickScratch chooses scratch registers for the machine: the two highest
+// caller-saved registers of each file (falling back to any allocatable
+// register on very small machines).
+func PickScratch(mach *target.Machine) ScratchRegs {
+	var s ScratchRegs
+	pick := func(c target.Class) [2]target.Reg {
+		regs := mach.CallerSavedRegs(c)
+		if len(regs) < 2 {
+			regs = mach.AllocOrder(c)
+		}
+		if len(regs) == 0 {
+			panic(fmt.Sprintf("alloc: no allocatable %v registers", c))
+		}
+		if len(regs) == 1 {
+			return [2]target.Reg{regs[0], regs[0]}
+		}
+		return [2]target.Reg{regs[len(regs)-1], regs[len(regs)-2]}
+	}
+	s.Int = pick(target.ClassInt)
+	s.Float = pick(target.ClassFloat)
+	return s
+}
+
+// RewriteAssigned rewrites p in place according to a whole-lifetime
+// assignment. References to memory-resident temporaries load into / store
+// from scratch registers around each instruction (tags TagScanLoad /
+// TagScanStore). Returns the set of callee-saved registers used so the
+// caller can insert saves.
+func RewriteAssigned(p *ir.Proc, mach *target.Machine, asn *Assignment, frame *Frame, scratch ScratchRegs) map[target.Reg]bool {
+	usedCallee := make(map[target.Reg]bool)
+	noteUse := func(r target.Reg) {
+		if !mach.CallerSaved(r) {
+			usedCallee[r] = true
+		}
+	}
+	for _, b := range p.Blocks {
+		out := make([]ir.Instr, 0, len(b.Instrs))
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			var post []ir.Instr
+			nextScratch := map[target.Class]int{}
+			scratchFor := func(c target.Class) target.Reg {
+				idx := nextScratch[c]
+				nextScratch[c] = idx + 1
+				var pair [2]target.Reg
+				if c == target.ClassInt {
+					pair = scratch.Int
+				} else {
+					pair = scratch.Float
+				}
+				if idx >= 2 {
+					panic(fmt.Sprintf("alloc: instruction %v needs more than two %v scratch registers", in.Op, c))
+				}
+				return pair[idx]
+			}
+			if n := len(in.Uses); n > 0 {
+				origUses := make([]ir.Temp, n)
+				uses := make([]ir.Operand, n)
+				copy(uses, in.Uses)
+				for ui := range uses {
+					origUses[ui] = ir.NoTemp
+					if uses[ui].Kind != ir.KindTemp {
+						continue
+					}
+					t := uses[ui].Temp
+					origUses[ui] = t
+					if r := asn.Reg[t]; r != target.NoReg {
+						uses[ui] = ir.RegOp(r)
+						noteUse(r)
+						continue
+					}
+					c := p.TempClass(t)
+					r := scratchFor(c)
+					out = append(out, ir.Instr{
+						Op:   ir.SpillLd,
+						Tag:  ir.TagScanLoad,
+						Pos:  in.Pos,
+						Defs: []ir.Operand{ir.RegOp(r)},
+						Uses: []ir.Operand{ir.SlotOp(frame.SlotOf(t), t)},
+					})
+					uses[ui] = ir.RegOp(r)
+				}
+				in.Uses = uses
+				in.OrigUses = origUses
+			}
+			if n := len(in.Defs); n > 0 {
+				origDefs := make([]ir.Temp, n)
+				defs := make([]ir.Operand, n)
+				copy(defs, in.Defs)
+				for di := range defs {
+					origDefs[di] = ir.NoTemp
+					if defs[di].Kind != ir.KindTemp {
+						continue
+					}
+					t := defs[di].Temp
+					origDefs[di] = t
+					if r := asn.Reg[t]; r != target.NoReg {
+						defs[di] = ir.RegOp(r)
+						noteUse(r)
+						continue
+					}
+					c := p.TempClass(t)
+					// Destinations may reuse a use scratch: sources are
+					// read before the destination is written.
+					var pair [2]target.Reg
+					if c == target.ClassInt {
+						pair = scratch.Int
+					} else {
+						pair = scratch.Float
+					}
+					r := pair[0]
+					defs[di] = ir.RegOp(r)
+					post = append(post, ir.Instr{
+						Op:   ir.SpillSt,
+						Tag:  ir.TagScanStore,
+						Pos:  in.Pos,
+						Uses: []ir.Operand{ir.RegOp(r), ir.SlotOp(frame.SlotOf(t), t)},
+					})
+				}
+				in.Defs = defs
+				in.OrigDefs = origDefs
+			}
+			out = append(out, in)
+			out = append(out, post...)
+		}
+		b.Instrs = out
+	}
+	return usedCallee
+}

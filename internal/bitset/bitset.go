@@ -1,0 +1,241 @@
+// Package bitset provides dense bit vectors sized for dataflow analysis.
+//
+// The allocators and dataflow solvers in this repository manipulate sets of
+// temporaries whose universe size is known up front, so a fixed-width dense
+// representation is both the fastest and the simplest choice. The API is
+// deliberately small: the operations below are exactly the ones the
+// iterative bit-vector dataflow of Traub et al. §2.4 needs (union,
+// difference, copy, equality) plus the set operations liveness analysis
+// needs.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bit vector. The zero value is an empty set of capacity 0;
+// use New to create a set with a fixed universe size.
+type Set struct {
+	words []uint64
+	n     int // universe size in bits
+}
+
+// New returns an empty set over a universe of n elements (0..n-1).
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the universe size the set was created with.
+func (s *Set) Len() int { return s.n }
+
+// Contains reports whether i is a member of s.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Add inserts i into s.
+func (s *Set) Add(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: Add(%d) out of range [0,%d)", i, s.n))
+	}
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes i from s.
+func (s *Set) Remove(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: Remove(%d) out of range [0,%d)", i, s.n))
+	}
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Clear empties the set.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Copy overwrites s with the contents of t. The sets must have equal size.
+func (s *Set) Copy(t *Set) {
+	s.check(t)
+	copy(s.words, t.words)
+}
+
+// Clone returns a fresh set with the same contents as s.
+func (s *Set) Clone() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}
+
+// Union sets s = s ∪ t and reports whether s changed.
+func (s *Set) Union(t *Set) bool {
+	s.check(t)
+	changed := false
+	for i, w := range t.words {
+		old := s.words[i]
+		nw := old | w
+		if nw != old {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Intersect sets s = s ∩ t.
+func (s *Set) Intersect(t *Set) {
+	s.check(t)
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+}
+
+// Subtract sets s = s − t.
+func (s *Set) Subtract(t *Set) {
+	s.check(t)
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+}
+
+// Equal reports whether s and t contain exactly the same members.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range t.words {
+		if s.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the set has no members.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of members.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// ForEach calls f for every member in ascending order.
+func (s *Set) ForEach(f func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*wordBits + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Members returns the elements in ascending order.
+func (s *Set) Members() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// String renders the set as "{a b c}" for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (s *Set) check(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: size mismatch %d vs %d", s.n, t.n))
+	}
+}
+
+// Matrix is a lower-triangular bit matrix recording a symmetric relation
+// over n elements. This is the adjacency representation the paper's
+// coloring implementation uses instead of a hash table ("We use a
+// lower-triangular bit matrix ... to record the adjacency relation of the
+// interference graph", §3).
+type Matrix struct {
+	bits []uint64
+	n    int
+}
+
+// NewMatrix returns an empty symmetric relation over n elements.
+func NewMatrix(n int) *Matrix {
+	if n < 0 {
+		panic("bitset: negative matrix size")
+	}
+	// Row i has i+1 entries (lower triangle including the diagonal).
+	total := n * (n + 1) / 2
+	return &Matrix{bits: make([]uint64, (total+wordBits-1)/wordBits), n: n}
+}
+
+func (m *Matrix) index(i, j int) int {
+	if i < j {
+		i, j = j, i
+	}
+	if i >= m.n || j < 0 {
+		panic(fmt.Sprintf("bitset: matrix index (%d,%d) out of range n=%d", i, j, m.n))
+	}
+	return i*(i+1)/2 + j
+}
+
+// Set records the symmetric pair (i, j).
+func (m *Matrix) Set(i, j int) {
+	k := m.index(i, j)
+	m.bits[k/wordBits] |= 1 << uint(k%wordBits)
+}
+
+// Has reports whether the pair (i, j) has been recorded.
+func (m *Matrix) Has(i, j int) bool {
+	k := m.index(i, j)
+	return m.bits[k/wordBits]&(1<<uint(k%wordBits)) != 0
+}
+
+// Count returns the number of recorded pairs (counting (i,i) once).
+func (m *Matrix) Count() int {
+	c := 0
+	for _, w := range m.bits {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset clears every recorded pair.
+func (m *Matrix) Reset() {
+	for i := range m.bits {
+		m.bits[i] = 0
+	}
+}

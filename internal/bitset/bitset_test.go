@@ -1,0 +1,227 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if !s.Empty() {
+		t.Fatal("new set not empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("Contains(%d) = false after Add", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) after Remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("not empty after Clear")
+	}
+}
+
+func TestContainsOutOfRange(t *testing.T) {
+	s := New(10)
+	if s.Contains(-1) || s.Contains(10) || s.Contains(100) {
+		t.Fatal("Contains out of range should be false")
+	}
+}
+
+func TestAddOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add out of range did not panic")
+		}
+	}()
+	New(4).Add(4)
+}
+
+func TestUnionSubtractIntersect(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	for i := 0; i < 100; i += 2 {
+		a.Add(i)
+	}
+	for i := 0; i < 100; i += 3 {
+		b.Add(i)
+	}
+	u := a.Clone()
+	if !u.Union(b) {
+		t.Fatal("Union reported no change")
+	}
+	if u.Union(b) {
+		t.Fatal("second Union reported change")
+	}
+	for i := 0; i < 100; i++ {
+		want := i%2 == 0 || i%3 == 0
+		if u.Contains(i) != want {
+			t.Fatalf("union Contains(%d) = %v, want %v", i, u.Contains(i), want)
+		}
+	}
+	d := a.Clone()
+	d.Subtract(b)
+	for i := 0; i < 100; i++ {
+		want := i%2 == 0 && i%3 != 0
+		if d.Contains(i) != want {
+			t.Fatalf("diff Contains(%d) = %v, want %v", i, d.Contains(i), want)
+		}
+	}
+	x := a.Clone()
+	x.Intersect(b)
+	for i := 0; i < 100; i++ {
+		want := i%6 == 0
+		if x.Contains(i) != want {
+			t.Fatalf("intersect Contains(%d) = %v, want %v", i, x.Contains(i), want)
+		}
+	}
+}
+
+func TestEqualCopyClone(t *testing.T) {
+	a := New(70)
+	a.Add(3)
+	a.Add(69)
+	b := New(70)
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+	b.Copy(a)
+	if !a.Equal(b) {
+		t.Fatal("Copy did not produce equal set")
+	}
+	c := a.Clone()
+	c.Remove(3)
+	if a.Equal(c) {
+		t.Fatal("Clone aliases original")
+	}
+	if a.Equal(New(71)) {
+		t.Fatal("different-size sets reported equal")
+	}
+}
+
+func TestForEachMembersOrder(t *testing.T) {
+	s := New(200)
+	want := []int{5, 64, 65, 128, 199}
+	for _, i := range want {
+		s.Add(i)
+	}
+	got := s.Members()
+	if len(got) != len(want) {
+		t.Fatalf("Members len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if s.String() != "{5 64 65 128 199}" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+// Property: set operations agree with a map-based model.
+func TestQuickAgainstModel(t *testing.T) {
+	f := func(adds []uint8, removes []uint8) bool {
+		s := New(256)
+		model := map[int]bool{}
+		for _, a := range adds {
+			s.Add(int(a))
+			model[int(a)] = true
+		}
+		for _, r := range removes {
+			s.Remove(int(r))
+			delete(model, int(r))
+		}
+		if s.Count() != len(model) {
+			return false
+		}
+		for i := 0; i < 256; i++ {
+			if s.Contains(i) != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is commutative and idempotent; subtract then union
+// restores a superset relationship.
+func TestQuickAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randSet := func() *Set {
+		s := New(128)
+		for i := 0; i < 40; i++ {
+			s.Add(rng.Intn(128))
+		}
+		return s
+	}
+	for iter := 0; iter < 200; iter++ {
+		a, b := randSet(), randSet()
+		ab := a.Clone()
+		ab.Union(b)
+		ba := b.Clone()
+		ba.Union(a)
+		if !ab.Equal(ba) {
+			t.Fatal("union not commutative")
+		}
+		ab2 := ab.Clone()
+		ab2.Union(b)
+		if !ab2.Equal(ab) {
+			t.Fatal("union not idempotent")
+		}
+		d := a.Clone()
+		d.Subtract(b)
+		d.Intersect(b)
+		if !d.Empty() {
+			t.Fatal("(a-b) ∩ b not empty")
+		}
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	m := NewMatrix(50)
+	pairs := [][2]int{{0, 0}, {1, 0}, {49, 48}, {10, 20}, {20, 10}, {33, 33}}
+	for _, p := range pairs {
+		m.Set(p[0], p[1])
+	}
+	if !m.Has(0, 0) || !m.Has(0, 1) || !m.Has(48, 49) || !m.Has(20, 10) || !m.Has(10, 20) {
+		t.Fatal("Has missing recorded pair")
+	}
+	if m.Has(5, 6) {
+		t.Fatal("Has reports unrecorded pair")
+	}
+	// {0,0},{1,0},{49,48},{10,20} (dup),{33,33} => 5 distinct cells
+	if m.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", m.Count())
+	}
+	m.Reset()
+	if m.Count() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestMatrixSymmetryQuick(t *testing.T) {
+	f := func(a, b uint8) bool {
+		m := NewMatrix(256)
+		m.Set(int(a), int(b))
+		return m.Has(int(b), int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

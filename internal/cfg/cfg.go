@@ -1,0 +1,175 @@
+// Package cfg provides control-flow-graph analyses over ir.Proc: reverse
+// postorder, dominators, natural loops, and loop nesting depth.
+//
+// Loop depth is shared infrastructure in the paper's experimental setup:
+// "Loop depth is used in the same way to weight occurrence counts in both
+// allocators" (§3). Both the binpacking eviction heuristic and the
+// coloring spill metric consume Block.Depth computed here.
+package cfg
+
+import (
+	"repro/internal/ir"
+)
+
+// ReversePostorder returns the blocks reachable from the entry in reverse
+// postorder.
+func ReversePostorder(p *ir.Proc) []*ir.Block {
+	seen := make(map[*ir.Block]bool, len(p.Blocks))
+	var post []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if p.Entry() != nil {
+		dfs(p.Entry())
+	}
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominators computes the immediate dominator of every reachable block
+// using the Cooper–Harvey–Kennedy iterative algorithm. The entry block's
+// immediate dominator is itself. Unreachable blocks map to nil.
+func Dominators(p *ir.Proc) map[*ir.Block]*ir.Block {
+	rpo := ReversePostorder(p)
+	index := make(map[*ir.Block]int, len(rpo))
+	for i, b := range rpo {
+		index[b] = i
+	}
+	idom := make(map[*ir.Block]*ir.Block, len(rpo))
+	entry := p.Entry()
+	idom[entry] = entry
+
+	intersect := func(a, b *ir.Block) *ir.Block {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, pred := range b.Preds {
+				if idom[pred] == nil {
+					continue // pred not yet processed or unreachable
+				}
+				if newIdom == nil {
+					newIdom = pred
+				} else {
+					newIdom = intersect(pred, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under the idom map (reflexive).
+func Dominates(idom map[*ir.Block]*ir.Block, a, b *ir.Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := idom[b]
+		if next == nil || next == b {
+			return a == b
+		}
+		b = next
+	}
+}
+
+// Loop describes one natural loop.
+type Loop struct {
+	Header *ir.Block
+	Blocks map[*ir.Block]bool
+}
+
+// NaturalLoops finds the natural loop of every back edge (an edge t→h
+// where h dominates t). Loops sharing a header are merged.
+func NaturalLoops(p *ir.Proc) []*Loop {
+	idom := Dominators(p)
+	loops := make(map[*ir.Block]*Loop)
+	var order []*ir.Block
+	for _, b := range p.Blocks {
+		if idom[b] == nil && b != p.Entry() {
+			continue // unreachable
+		}
+		for _, h := range b.Succs {
+			if !Dominates(idom, h, b) {
+				continue
+			}
+			// b→h is a back edge; collect the natural loop body.
+			l := loops[h]
+			if l == nil {
+				l = &Loop{Header: h, Blocks: map[*ir.Block]bool{h: true}}
+				loops[h] = l
+				order = append(order, h)
+			}
+			var stack []*ir.Block
+			if !l.Blocks[b] {
+				l.Blocks[b] = true
+				stack = append(stack, b)
+			}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, q := range x.Preds {
+					if !l.Blocks[q] {
+						l.Blocks[q] = true
+						stack = append(stack, q)
+					}
+				}
+			}
+		}
+	}
+	out := make([]*Loop, 0, len(order))
+	for _, h := range order {
+		out = append(out, loops[h])
+	}
+	return out
+}
+
+// ComputeLoopDepths sets Block.Depth for every block to the number of
+// natural loops containing it, and returns the loops.
+func ComputeLoopDepths(p *ir.Proc) []*Loop {
+	for _, b := range p.Blocks {
+		b.Depth = 0
+	}
+	loops := NaturalLoops(p)
+	for _, l := range loops {
+		for b := range l.Blocks {
+			b.Depth++
+		}
+	}
+	return loops
+}
+
+// IsCriticalEdge reports whether the edge pred→succ is critical: pred has
+// several successors and succ several predecessors. The resolution phase
+// must split such edges to place repair code (§2.4, footnote 1).
+func IsCriticalEdge(pred, succ *ir.Block) bool {
+	return len(pred.Succs) > 1 && len(succ.Preds) > 1
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+	"repro/internal/moves"
+	"repro/internal/target"
+)
+
+// resolve repairs the linear-order allocation assumptions across every CFG
+// edge (§2.4). For each edge p→s and each temporary live into s it
+// compares the location recorded at p's bottom with the one assumed at
+// s's top and emits stores, loads and moves — sequenced as a parallel
+// copy so register swaps come out in a semantically correct order. It
+// also runs the USED_CONSISTENCY dataflow and inserts the stores required
+// where a path reaches a point that exploited register/memory consistency
+// the path does not provide.
+func (s *scan) resolve() {
+	ng := s.lv.NumGlobals()
+
+	var usedCIn []*bitset.Set
+	if !s.opts.StrictLinear && ng > 0 {
+		usedCIn, _ = dataflow.SolveBackwardUnion(s.p.Blocks, ng,
+			func(b *ir.Block) *bitset.Set { return s.usedC[b.Order] },
+			func(b *ir.Block) *bitset.Set { return s.wrote[b.Order] })
+	}
+
+	type edgeFix struct {
+		pred, succ *ir.Block
+		code       []ir.Instr
+	}
+	var fixes []edgeFix
+
+	// Collect all repairs before mutating the CFG (edge splitting would
+	// otherwise disturb iteration and positions).
+	blocks := append([]*ir.Block(nil), s.p.Blocks...)
+	for _, pb := range blocks {
+		for _, sb := range pb.Succs {
+			code := s.resolveEdge(pb, sb, usedCIn)
+			if len(code) > 0 {
+				fixes = append(fixes, edgeFix{pred: pb, succ: sb, code: code})
+			}
+		}
+	}
+
+	for _, f := range fixes {
+		switch {
+		case len(f.pred.Succs) == 1:
+			// Place at the bottom of the predecessor, before its
+			// (single-target, operand-free) terminator.
+			n := len(f.pred.Instrs)
+			instrs := make([]ir.Instr, 0, n+len(f.code))
+			instrs = append(instrs, f.pred.Instrs[:n-1]...)
+			instrs = append(instrs, f.code...)
+			instrs = append(instrs, f.pred.Instrs[n-1])
+			f.pred.Instrs = instrs
+		case len(f.succ.Preds) == 1:
+			f.succ.Instrs = append(f.code, f.succ.Instrs...)
+		default:
+			// Critical edge: split it to get a safe home for the code.
+			nb := s.p.SplitEdge(f.pred, f.succ)
+			nb.Instrs = append(f.code, nb.Instrs...)
+			nb.Depth = f.succ.Depth
+			if f.pred.Depth < nb.Depth {
+				nb.Depth = f.pred.Depth
+			}
+		}
+	}
+}
+
+// resolveEdge computes the repair code for one edge.
+func (s *scan) resolveEdge(pb, sb *ir.Block, usedCIn []*bitset.Set) []ir.Instr {
+	bot := s.botLoc[pb.Order]
+	top := s.topLoc[sb.Order]
+	consP := s.savedCons[pb.Order]
+
+	var ts []moves.Transfer
+	busyRegs := make(map[target.Reg]bool)
+
+	s.lv.LiveIn[sb.Order].ForEach(func(gi int) {
+		t := s.lv.Globals[gi]
+		cls := s.p.TempClass(t)
+		lp, inRegP := bot[t]
+		ls, inRegS := top[t]
+		if inRegP {
+			busyRegs[lp] = true
+		}
+		if inRegS {
+			busyRegs[ls] = true
+		}
+		needCons := usedCIn != nil && usedCIn[sb.Order].Contains(gi)
+		consAtP := consP.Contains(gi)
+
+		switch {
+		case inRegP && inRegS:
+			if lp != ls {
+				// "If the temporary was in two different registers
+				// across the edge, we insert a move instruction."
+				ts = append(ts, moves.Transfer{Temp: t, Class: cls,
+					Src: moves.RegLoc(lp), Dst: moves.RegLoc(ls)})
+			}
+			if needCons && !consAtP {
+				ts = append(ts, moves.Transfer{Temp: t, Class: cls,
+					Src: moves.RegLoc(lp), Dst: moves.SlotLoc(s.frame.SlotOf(t))})
+			}
+		case inRegP && !inRegS:
+			// Register → memory: "we insert a store instruction (but
+			// only if a temporary's allocated register and memory home
+			// are inconsistent)."
+			if !consAtP {
+				ts = append(ts, moves.Transfer{Temp: t, Class: cls,
+					Src: moves.RegLoc(lp), Dst: moves.SlotLoc(s.frame.SlotOf(t))})
+			}
+		case !inRegP && inRegS:
+			// Memory → register: load.
+			ts = append(ts, moves.Transfer{Temp: t, Class: cls,
+				Src: moves.SlotLoc(s.frame.SlotOf(t)), Dst: moves.RegLoc(ls)})
+		}
+	})
+	if len(ts) == 0 {
+		return nil
+	}
+
+	// The repair code runs on the edge: before sb's first original
+	// instruction (top or split placement) or before pb's Jmp (bottom
+	// placement). A scratch register for cycle breaking must be dead
+	// there: not holding any live-in value on either side and not
+	// hard-busy at the boundary.
+	boundaryPos := pb.Instrs[len(pb.Instrs)-1].Pos
+	if len(sb.Instrs) > 0 {
+		boundaryPos = sb.Instrs[0].Pos
+	}
+	scratch := func(c target.Class) (target.Reg, bool) {
+		for _, r := range s.mach.AllocOrder(c) {
+			if busyRegs[r] || s.rb.BusyAt(r, boundaryPos) {
+				continue
+			}
+			if !s.mach.CallerSaved(r) && !s.usedCallee[r] {
+				continue // a fresh callee-saved register would need an unplanned save
+			}
+			return r, true
+		}
+		return target.NoReg, false
+	}
+	return moves.Sequence(ts, scratch, func(t ir.Temp) int { return s.frame.SlotOf(t) },
+		moves.Tags{Load: ir.TagResolveLoad, Store: ir.TagResolveStore, Move: ir.TagResolveMove})
+}

@@ -1,0 +1,630 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/alloc"
+	"repro/internal/bitset"
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+	"repro/internal/lifetime"
+	"repro/internal/target"
+)
+
+// scan carries the state of the single allocate+rewrite pass (§2.3).
+type scan struct {
+	p    *ir.Proc
+	mach *target.Machine
+	opts Options
+	lv   *dataflow.Liveness
+	lt   *lifetime.Table
+	rb   *lifetime.RegBusy
+
+	frame      *alloc.Frame
+	usedCallee map[target.Reg]bool
+
+	// Allocation state, maintained linearly across blocks exactly as the
+	// paper's model flows it (Fig. 2 discussion).
+	loc        []target.Reg // temp → current register, or NoReg (memory home)
+	regOcc     []ir.Temp    // register → occupant temp, or NoTemp
+	consistent []bool       // the ARE_CONSISTENT working bit per temp (At)
+	consLocal  []bool       // consistency established inside the current block
+
+	pinned []bool // registers untouchable while processing one instruction
+
+	// Per-block records for resolution (§2.4), indexed by Block.Order.
+	topLoc    []map[ir.Temp]target.Reg
+	botLoc    []map[ir.Temp]target.Reg
+	savedCons []*bitset.Set // ARE_CONSISTENT snapshot at block bottom (globals)
+	wrote     []*bitset.Set // WROTE_TR per block (kill)
+	usedC     []*bitset.Set // USED_CONSISTENCY per block (gen)
+
+	wroteCur *bitset.Set
+	usedCCur *bitset.Set
+
+	out []ir.Instr // rewrite buffer for the current block
+	cur *ir.Block
+
+	ubuf []ir.Temp
+	dbuf []ir.Temp
+}
+
+func newScan(p *ir.Proc, mach *target.Machine, opts Options, lv *dataflow.Liveness, lt *lifetime.Table, rb *lifetime.RegBusy) *scan {
+	nb := len(p.Blocks)
+	ng := lv.NumGlobals()
+	s := &scan{
+		p: p, mach: mach, opts: opts, lv: lv, lt: lt, rb: rb,
+		frame:      alloc.NewFrame(p),
+		usedCallee: make(map[target.Reg]bool),
+		loc:        make([]target.Reg, p.NumTemps()),
+		regOcc:     make([]ir.Temp, mach.NumRegs()),
+		consistent: make([]bool, p.NumTemps()),
+		consLocal:  make([]bool, p.NumTemps()),
+		pinned:     make([]bool, mach.NumRegs()),
+		topLoc:     make([]map[ir.Temp]target.Reg, nb),
+		botLoc:     make([]map[ir.Temp]target.Reg, nb),
+		savedCons:  make([]*bitset.Set, nb),
+		wrote:      make([]*bitset.Set, nb),
+		usedC:      make([]*bitset.Set, nb),
+		wroteCur:   bitset.New(ng),
+		usedCCur:   bitset.New(ng),
+	}
+	for i := range s.loc {
+		s.loc[i] = target.NoReg
+	}
+	for i := range s.regOcc {
+		s.regOcc[i] = ir.NoTemp
+	}
+	return s
+}
+
+func (s *scan) iv(t ir.Temp) *lifetime.Interval { return s.lt.Intervals[t] }
+
+// run performs the combined allocate/rewrite sweep.
+func (s *scan) run() error {
+	for _, b := range s.p.Blocks {
+		s.cur = b
+		s.startBlock(b)
+		s.out = make([]ir.Instr, 0, len(b.Instrs)+4)
+		for i := range b.Instrs {
+			if err := s.instr(&b.Instrs[i]); err != nil {
+				return fmt.Errorf("block %s, %v at pos %d: %w", b.Name, b.Instrs[i].Op, b.Instrs[i].Pos, err)
+			}
+		}
+		s.endBlock(b)
+		b.Instrs = s.out
+	}
+	return nil
+}
+
+func (s *scan) startBlock(b *ir.Block) {
+	s.wroteCur.Clear()
+	s.usedCCur.Clear()
+	for i := range s.consLocal {
+		s.consLocal[i] = false
+	}
+	if s.opts.StrictLinear {
+		// §2.6: conservatively reinitialize the working ARE_CONSISTENT
+		// vector with the intersection of the saved vectors of all
+		// predecessors; an unprocessed predecessor clears everything.
+		for gi, t := range s.lv.Globals {
+			val := len(b.Preds) > 0
+			for _, pred := range b.Preds {
+				sc := s.savedCons[pred.Order]
+				if sc == nil || !sc.Contains(gi) {
+					val = false
+					break
+				}
+			}
+			s.consistent[t] = val
+		}
+	}
+	top := make(map[ir.Temp]target.Reg)
+	s.lv.LiveIn[b.Order].ForEach(func(gi int) {
+		t := s.lv.Globals[gi]
+		if r := s.loc[t]; r != target.NoReg {
+			top[t] = r
+		}
+	})
+	s.topLoc[b.Order] = top
+}
+
+func (s *scan) endBlock(b *ir.Block) {
+	bot := make(map[ir.Temp]target.Reg)
+	s.lv.LiveOut[b.Order].ForEach(func(gi int) {
+		t := s.lv.Globals[gi]
+		if r := s.loc[t]; r != target.NoReg {
+			bot[t] = r
+		}
+	})
+	s.botLoc[b.Order] = bot
+
+	sc := bitset.New(s.lv.NumGlobals())
+	for gi, t := range s.lv.Globals {
+		// A temporary in memory is trivially consistent (its home is
+		// authoritative); one in a register carries its At bit.
+		if s.loc[t] == target.NoReg || s.consistent[t] {
+			sc.Add(gi)
+		}
+	}
+	s.savedCons[b.Order] = sc
+
+	if !s.opts.StrictLinear {
+		// Soundness refinement (documented in DESIGN.md): a live-out
+		// temporary whose register is believed consistent only by
+		// linear inheritance may have that belief consumed by edge
+		// resolution (store suppression) at this block's outgoing
+		// edges. Record it in the GEN set so the dataflow demands real
+		// consistency on entry, exactly as for in-block inhibitions.
+		s.lv.LiveOut[b.Order].ForEach(func(gi int) {
+			t := s.lv.Globals[gi]
+			if s.loc[t] != target.NoReg && s.consistent[t] && !s.consLocal[t] && !s.wroteCur.Contains(gi) {
+				s.usedCCur.Add(gi)
+			}
+		})
+	}
+	s.wrote[b.Order] = s.wroteCur.Clone()
+	s.usedC[b.Order] = s.usedCCur.Clone()
+}
+
+// instr allocates and rewrites a single instruction.
+func (s *scan) instr(in *ir.Instr) error {
+	pos := in.Pos
+
+	// Expire register holes (§2.5): any temporary squatting in a
+	// register that a convention needs at this point is evicted first
+	// (this is where temporaries leave caller-saved registers at calls).
+	for r := range s.regOcc {
+		if t := s.regOcc[r]; t != ir.NoTemp && s.rb.BusyAt(target.Reg(r), pos) {
+			s.evict(t, pos)
+		}
+	}
+
+	// Pin the registers of temporaries this instruction references so
+	// one operand's reload cannot evict another operand.
+	var pinnedRegs []target.Reg
+	pin := func(r target.Reg) {
+		if !s.pinned[r] {
+			s.pinned[r] = true
+			pinnedRegs = append(pinnedRegs, r)
+		}
+	}
+	defer func() {
+		for _, r := range pinnedRegs {
+			s.pinned[r] = false
+		}
+	}()
+	s.ubuf = in.UseTemps(s.ubuf[:0])
+	for _, t := range s.ubuf {
+		if r := s.loc[t]; r != target.NoReg {
+			pin(r)
+		}
+	}
+
+	ni := *in
+	if len(in.Uses) > 0 {
+		ni.Uses = append([]ir.Operand(nil), in.Uses...)
+		ni.OrigUses = make([]ir.Temp, len(in.Uses))
+		for i := range ni.OrigUses {
+			ni.OrigUses[i] = ir.NoTemp
+		}
+	}
+	if len(in.Defs) > 0 {
+		ni.Defs = append([]ir.Operand(nil), in.Defs...)
+		ni.OrigDefs = make([]ir.Temp, len(in.Defs))
+		for i := range ni.OrigDefs {
+			ni.OrigDefs[i] = ir.NoTemp
+		}
+	}
+
+	// Uses: every temporary read here must be in a register now.
+	for ui := range ni.Uses {
+		if ni.Uses[ui].Kind != ir.KindTemp {
+			continue
+		}
+		t := ni.Uses[ui].Temp
+		r, err := s.ensure(t, pos, true)
+		if err != nil {
+			return err
+		}
+		pin(r)
+		ni.Uses[ui] = ir.RegOp(r)
+		ni.OrigUses[ui] = t
+	}
+
+	// Free temporaries whose lifetime ends at this instruction before
+	// processing definitions, so a destination can reuse the register of
+	// a dying source. Unpinning the freed register lets the destination
+	// take it over (sources are read before the destination is written).
+	for _, t := range s.ubuf {
+		if r := s.loc[t]; r != target.NoReg && s.deadAfter(t, pos) {
+			s.free(t)
+			s.pinned[r] = false
+		}
+	}
+
+	// §2.5 move optimization: try to give the move's destination the
+	// source's register when the source is done with it.
+	movedDef := false
+	if s.opts.MoveOpt && in.Op.IsMove() && len(in.Defs) == 1 && in.Defs[0].Kind == ir.KindTemp {
+		movedDef = s.tryMoveOpt(in, &ni, pos)
+	}
+
+	// Defs.
+	if !movedDef {
+		for di := range ni.Defs {
+			if ni.Defs[di].Kind != ir.KindTemp {
+				continue
+			}
+			d := ni.Defs[di].Temp
+			r := s.loc[d]
+			if r == target.NoReg {
+				var err error
+				r, err = s.ensure(d, pos, false)
+				if err != nil {
+					return err
+				}
+			}
+			pin(r)
+			s.markWrite(d)
+			ni.Defs[di] = ir.RegOp(r)
+			ni.OrigDefs[di] = d
+		}
+	}
+
+	s.out = append(s.out, ni)
+
+	// Free dying definitions (dead stores keep a point lifetime).
+	s.dbuf = in.DefTemps(s.dbuf[:0])
+	for _, d := range s.dbuf {
+		if s.loc[d] != target.NoReg && s.deadAfter(d, pos) {
+			s.free(d)
+		}
+	}
+	return nil
+}
+
+// deadAfter reports whether t has no further need of a value after pos.
+// End() alone is not enough at a block's final position: a temporary live
+// around a back edge ends its last linear segment exactly there while its
+// value is still needed by an earlier (in layout order) block, so the
+// block's live-out set has the final word.
+func (s *scan) deadAfter(t ir.Temp, pos int32) bool {
+	if s.iv(t).End() > pos {
+		return false
+	}
+	if gi := s.lv.GlobalIndex(t); gi >= 0 && s.lv.LiveOut[s.cur.Order].Contains(gi) {
+		return false
+	}
+	return true
+}
+
+// tryMoveOpt implements the §2.5 coalescing check: "once we have assigned
+// a register to the source of a move instruction, we check to see if that
+// register has a hole starting immediately after the move's source use
+// and if the lifetime of the move's destination temporary fits within
+// this hole." On success the destination operand is rewritten to the
+// source register and the resulting self-move is left for the peephole
+// pass to delete, as in the paper.
+func (s *scan) tryMoveOpt(in *ir.Instr, ni *ir.Instr, pos int32) bool {
+	d := in.Defs[0].Temp
+	if s.loc[d] != target.NoReg {
+		return false // destination already placed; normal path
+	}
+	div := s.iv(d)
+	if div.Empty() {
+		return false
+	}
+	dEnd := div.End()
+
+	var rs target.Reg
+	src := in.Uses[0]
+	switch src.Kind {
+	case ir.KindReg:
+		// Parameter-style move from a convention register: usable when
+		// the register's own hole after this use covers d's lifetime.
+		rs = src.Reg
+		if s.regOcc[rs] != ir.NoTemp {
+			return false
+		}
+	case ir.KindTemp:
+		t := src.Temp
+		rs = ni.Uses[0].Reg // register the use was rewritten to
+		if occ := s.regOcc[rs]; occ != ir.NoTemp {
+			// The source must be finished with the register for d's
+			// whole lifetime: dead, or in a hole covering [pos+1,dEnd].
+			if occ != t {
+				return false
+			}
+			if s.liveWithin(t, pos+1, dEnd) {
+				return false
+			}
+		}
+	default:
+		return false
+	}
+	if !s.sufficientFrom(rs, d, pos+1) {
+		return false
+	}
+	// Displace the parked source, if any: it is in a hole over d's whole
+	// lifetime, so dropping it costs nothing (next reference is a write).
+	if occ := s.regOcc[rs]; occ != ir.NoTemp {
+		s.loc[occ] = target.NoReg
+		s.consistent[occ] = false
+		s.consLocal[occ] = false
+	}
+	s.regOcc[rs] = d
+	s.loc[d] = rs
+	s.noteReg(rs)
+	s.markWrite(d)
+	ni.Defs[0] = ir.RegOp(rs)
+	ni.OrigDefs[0] = d
+	return true
+}
+
+// liveWithin reports whether t has any live position in [from, to].
+func (s *scan) liveWithin(t ir.Temp, from, to int32) bool {
+	iv := s.iv(t)
+	for _, seg := range iv.Segments {
+		if seg.End >= from && seg.Start <= to {
+			return true
+		}
+	}
+	return false
+}
+
+// ensure places t in a register at pos, reloading from its memory home if
+// withLoad and the value lives in memory (this is the second chance:
+// "when encountering a later reference to this spilled temporary u, we
+// must find it a register", §2.3).
+func (s *scan) ensure(t ir.Temp, pos int32, withLoad bool) (target.Reg, error) {
+	if r := s.loc[t]; r != target.NoReg {
+		return r, nil
+	}
+	r, ok := s.findFree(s.p.TempClass(t), t, pos, false)
+	if !ok {
+		victim := s.chooseVictim(s.p.TempClass(t), pos)
+		if victim == ir.NoTemp {
+			return target.NoReg, fmt.Errorf("no register available for %s (all pinned)", s.p.TempName(t))
+		}
+		r = s.loc[victim]
+		s.evict(victim, pos)
+	}
+	s.regOcc[r] = t
+	s.loc[t] = r
+	s.noteReg(r)
+	if withLoad {
+		s.out = append(s.out, ir.Instr{
+			Op:   ir.SpillLd,
+			Tag:  ir.TagScanLoad,
+			Pos:  pos,
+			Defs: []ir.Operand{ir.RegOp(r)},
+			Uses: []ir.Operand{ir.SlotOp(s.frame.SlotOf(t), t)},
+		})
+		s.consistent[t] = true
+		s.consLocal[t] = true
+	} else {
+		s.consistent[t] = false
+		s.consLocal[t] = false
+	}
+	return r, nil
+}
+
+func (s *scan) noteReg(r target.Reg) {
+	if !s.mach.CallerSaved(r) {
+		s.usedCallee[r] = true
+	}
+}
+
+// sufficientFrom reports whether register r is free over every live
+// position the value of t may still need: t's live segments clipped to
+// [from, End]. The paper's fitting rule is "a hole big enough to contain
+// the entire lifetime" (§2.2); positions must be taken from the lifetime
+// segments, not merely from [from, End] in linear order, because a value
+// live around a back edge re-traverses earlier positions of its own
+// segment (e.g. a loop-carried counter must not adopt a caller-saved
+// register whose hole ends at the loop's call site even when that call
+// lies at a smaller linear position).
+func (s *scan) sufficientFrom(r target.Reg, t ir.Temp, from int32) bool {
+	iv := s.iv(t)
+	if iv.Empty() {
+		return true
+	}
+	for _, seg := range iv.Segments {
+		if seg.End < from {
+			continue
+		}
+		lo := seg.Start
+		if lo < from {
+			lo = from
+		}
+		if !s.rb.FreeThrough(r, lo, seg.End) {
+			return false
+		}
+	}
+	return true
+}
+
+// fitStart returns the first position the hole-sufficiency test must
+// cover for t when allocating at pos: the start of the live segment
+// containing pos (any of whose positions a loop may revisit), or pos
+// itself when pos falls in a lifetime hole.
+func (s *scan) fitStart(t ir.Temp, pos int32) int32 {
+	for _, seg := range s.iv(t).Segments {
+		if seg.Start <= pos && pos <= seg.End {
+			return seg.Start
+		}
+	}
+	return pos
+}
+
+// findFree picks a free register for t at pos: the smallest sufficient
+// hole (sufficiency judged over t's remaining live segments), else —
+// unless sufficientOnly — the largest insufficient one (§2.2, §2.5).
+// Ties among sufficient holes prefer a register that costs nothing extra
+// (an already-used callee-saved over a fresh one).
+func (s *scan) findFree(c target.Class, t ir.Temp, pos int32, sufficientOnly bool) (target.Reg, bool) {
+	from := s.fitStart(t, pos)
+	bestSuff := target.NoReg
+	bestSuffNext := int32(math.MaxInt32)
+	bestSuffFresh := false
+	bestInsuff := target.NoReg
+	bestInsuffNext := int32(-1)
+	for _, r := range s.mach.AllocOrder(c) {
+		if s.pinned[r] || s.regOcc[r] != ir.NoTemp || s.rb.BusyAt(r, pos) {
+			continue
+		}
+		nb := s.rb.NextBusy(r, pos)
+		if s.sufficientFrom(r, t, from) {
+			fresh := !s.mach.CallerSaved(r) && !s.usedCallee[r]
+			if nb < bestSuffNext || (nb == bestSuffNext && bestSuffFresh && !fresh) {
+				bestSuff, bestSuffNext, bestSuffFresh = r, nb, fresh
+			}
+		} else if nb > bestInsuffNext {
+			bestInsuff, bestInsuffNext = r, nb
+		}
+	}
+	if bestSuff != target.NoReg {
+		return bestSuff, true
+	}
+	if !sufficientOnly && bestInsuff != target.NoReg {
+		return bestInsuff, true
+	}
+	return target.NoReg, false
+}
+
+// chooseVictim selects the lowest-priority occupant of a class-c register
+// for eviction: priority compares "the distance to each temporary's next
+// reference, weighted by the depth of the loop it occurs in" (§2.3). Ties
+// prefer victims that need no spill store.
+func (s *scan) chooseVictim(c target.Class, pos int32) ir.Temp {
+	best := ir.NoTemp
+	bestPrio := math.Inf(1)
+	bestStore := true
+	for _, r := range s.mach.AllocOrder(c) {
+		u := s.regOcc[r]
+		if u == ir.NoTemp || s.pinned[r] {
+			continue
+		}
+		prio, needsStore := s.victimPriority(u, pos)
+		if prio < bestPrio || (prio == bestPrio && bestStore && !needsStore) {
+			best, bestPrio, bestStore = u, prio, needsStore
+		}
+	}
+	return best
+}
+
+func (s *scan) victimPriority(u ir.Temp, pos int32) (prio float64, needsStore bool) {
+	iv := s.iv(u)
+	live := iv.LiveAt(pos)
+	needsStore = live && !s.consistent[u]
+	ref := iv.NextRefAfter(pos)
+	if ref == nil {
+		return math.Inf(-1), false // past its last reference: free win
+	}
+	dist := float64(ref.Pos - pos)
+	if dist <= 0 {
+		dist = 0.5
+	}
+	weight := 1.0
+	if s.opts.Heuristic == HeuristicWeighted {
+		d := ref.Depth
+		if d > 8 {
+			d = 8
+		}
+		weight = math.Pow(10, float64(d))
+	}
+	return weight / dist, needsStore
+}
+
+// free releases t's register at the end of its lifetime.
+func (s *scan) free(t ir.Temp) {
+	r := s.loc[t]
+	if r == target.NoReg {
+		return
+	}
+	s.regOcc[r] = ir.NoTemp
+	s.loc[t] = target.NoReg
+	s.consistent[t] = false
+	s.consLocal[t] = false
+}
+
+// markWrite records a write to t's register: memory and register diverge
+// (clears At, sets Wt).
+func (s *scan) markWrite(t ir.Temp) {
+	s.consistent[t] = false
+	s.consLocal[t] = false
+	if gi := s.lv.GlobalIndex(t); gi >= 0 {
+		s.wroteCur.Add(gi)
+	}
+}
+
+// evict removes u from its register (§2.3): silently if the value is dead
+// here (lifetime hole — the next reference must be a write) or if the
+// memory home is already consistent; otherwise with an early-second-chance
+// move (§2.5) when a suitable free register exists, else with a spill
+// store. The spill point splits u's lifetime: rewrites made so far stand,
+// and only future references are affected.
+func (s *scan) evict(u ir.Temp, pos int32) {
+	r := s.loc[u]
+	if r == target.NoReg {
+		return
+	}
+	s.regOcc[r] = ir.NoTemp
+	s.loc[u] = target.NoReg
+
+	iv := s.iv(u)
+	if !iv.LiveAt(pos) {
+		// In a lifetime hole (or past the end): "a store is not needed
+		// since the next reference will overwrite the current value".
+		s.consistent[u] = false
+		s.consLocal[u] = false
+		return
+	}
+	if s.consistent[u] {
+		// Inhibit the store. If the consistency we relied on was not
+		// established in this block, the dataflow must guarantee it
+		// along every path: set Ut (§2.4).
+		if gi := s.lv.GlobalIndex(u); gi >= 0 && !s.consLocal[u] && !s.wroteCur.Contains(gi) {
+			s.usedCCur.Add(gi)
+		}
+		return
+	}
+	if s.opts.EarlySecondChance {
+		// "It might be true at this point that some other register rs
+		// now contains a hole that could contain t's remaining
+		// lifetime" — move instead of store+load (§2.5). The vacated
+		// register itself is pinned: it is spoken for (a convention
+		// needs it, or the eviction's requester takes it).
+		wasPinned := s.pinned[r]
+		s.pinned[r] = true
+		rs, ok := s.findFree(s.p.TempClass(u), u, pos, true)
+		s.pinned[r] = wasPinned
+		if ok {
+			op := ir.Mov
+			if s.p.TempClass(u) == target.ClassFloat {
+				op = ir.FMov
+			}
+			s.out = append(s.out, ir.Instr{
+				Op:   op,
+				Tag:  ir.TagScanMove,
+				Pos:  pos,
+				Defs: []ir.Operand{ir.RegOp(rs)},
+				Uses: []ir.Operand{ir.RegOp(r)},
+			})
+			s.regOcc[rs] = u
+			s.loc[u] = rs
+			s.noteReg(rs)
+			return
+		}
+	}
+	s.out = append(s.out, ir.Instr{
+		Op:   ir.SpillSt,
+		Tag:  ir.TagScanStore,
+		Pos:  pos,
+		Uses: []ir.Operand{ir.RegOp(r), ir.SlotOp(s.frame.SlotOf(u), u)},
+	})
+	s.consistent[u] = true
+	s.consLocal[u] = true
+}

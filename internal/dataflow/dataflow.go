@@ -1,0 +1,191 @@
+// Package dataflow implements iterative bit-vector dataflow over ir CFGs,
+// and the liveness analysis both allocators consume.
+//
+// As in the paper (§3), temporaries that are live only within a single
+// basic block are excluded from the bit vectors: "temporaries that are
+// live only within a single basic block are excluded from dataflow
+// analysis, which greatly reduces bit vector sizes". A temporary can be
+// live across an edge only if some block reads it before writing it
+// (upward exposure), so the global universe is exactly the set of
+// upward-exposed temporaries.
+package dataflow
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/ir"
+)
+
+// SolveBackwardUnion solves the classic backward union problem
+//
+//	Out(b) = ⋃_{s ∈ succ(b)} In(s)
+//	In(b)  = Gen(b) ∪ (Out(b) − Kill(b))
+//
+// over the given blocks with a worklist, and returns In and Out indexed
+// by Block.Order. gen and kill may be nil to mean the empty set. The
+// universe size is n. Both liveness and the paper's USED_CONSISTENCY
+// consistency-repair analysis (§2.4) are instances of this problem.
+func SolveBackwardUnion(blocks []*ir.Block, n int, gen, kill func(*ir.Block) *bitset.Set) (in, out []*bitset.Set) {
+	nb := len(blocks)
+	in = make([]*bitset.Set, nb)
+	out = make([]*bitset.Set, nb)
+	for i := range blocks {
+		in[i] = bitset.New(n)
+		out[i] = bitset.New(n)
+	}
+	// Initialize In(b) = Gen(b).
+	for _, b := range blocks {
+		if gen != nil {
+			if g := gen(b); g != nil {
+				in[b.Order].Copy(g)
+			}
+		}
+	}
+	// Worklist seeded in reverse layout order (approximates reverse
+	// topological order, which converges fastest for backward problems).
+	work := make([]*ir.Block, 0, nb)
+	inWork := make([]bool, nb)
+	for i := nb - 1; i >= 0; i-- {
+		work = append(work, blocks[i])
+		inWork[blocks[i].Order] = true
+	}
+	tmp := bitset.New(n)
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[b.Order] = false
+
+		o := out[b.Order]
+		changedOut := false
+		for _, s := range b.Succs {
+			if o.Union(in[s.Order]) {
+				changedOut = true
+			}
+		}
+		_ = changedOut
+		// In(b) = Gen(b) ∪ (Out(b) − Kill(b))
+		tmp.Copy(o)
+		if kill != nil {
+			if k := kill(b); k != nil {
+				tmp.Subtract(k)
+			}
+		}
+		if gen != nil {
+			if g := gen(b); g != nil {
+				tmp.Union(g)
+			}
+		}
+		if !tmp.Equal(in[b.Order]) {
+			in[b.Order].Copy(tmp)
+			for _, pred := range b.Preds {
+				if !inWork[pred.Order] {
+					inWork[pred.Order] = true
+					work = append(work, pred)
+				}
+			}
+		}
+	}
+	return in, out
+}
+
+// Liveness holds the result of liveness analysis over a procedure's
+// cross-block ("global") temporaries.
+type Liveness struct {
+	// Globals maps dense global index → temporary.
+	Globals []ir.Temp
+	// Index maps temporary → dense global index, or -1 for block-local
+	// temporaries (which are never live across an edge).
+	Index []int32
+	// LiveIn/LiveOut are indexed by Block.Order over the global
+	// universe.
+	LiveIn  []*bitset.Set
+	LiveOut []*bitset.Set
+}
+
+// NumGlobals returns the size of the cross-block universe.
+func (lv *Liveness) NumGlobals() int { return len(lv.Globals) }
+
+// GlobalIndex returns the dense index of t, or -1 if t is block-local.
+func (lv *Liveness) GlobalIndex(t ir.Temp) int { return int(lv.Index[t]) }
+
+// LiveOutTemps appends the temporaries live out of b to buf.
+func (lv *Liveness) LiveOutTemps(b *ir.Block, buf []ir.Temp) []ir.Temp {
+	lv.LiveOut[b.Order].ForEach(func(i int) { buf = append(buf, lv.Globals[i]) })
+	return buf
+}
+
+// LiveInTemps appends the temporaries live into b to buf.
+func (lv *Liveness) LiveInTemps(b *ir.Block, buf []ir.Temp) []ir.Temp {
+	lv.LiveIn[b.Order].ForEach(func(i int) { buf = append(buf, lv.Globals[i]) })
+	return buf
+}
+
+// Compute runs liveness analysis. The procedure must have been
+// Renumber()ed so Block.Order indexes the layout slice.
+func Compute(p *ir.Proc) *Liveness {
+	nt := p.NumTemps()
+	lv := &Liveness{Index: make([]int32, nt)}
+	for i := range lv.Index {
+		lv.Index[i] = -1
+	}
+
+	// Pass 1: find upward-exposed temporaries (the global universe).
+	var ubuf, dbuf []ir.Temp
+	defined := make([]bool, nt)
+	definedDirty := []ir.Temp{}
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			ubuf = in.UseTemps(ubuf[:0])
+			for _, t := range ubuf {
+				if !defined[t] && lv.Index[t] < 0 {
+					lv.Index[t] = int32(len(lv.Globals))
+					lv.Globals = append(lv.Globals, t)
+				}
+			}
+			dbuf = in.DefTemps(dbuf[:0])
+			for _, t := range dbuf {
+				if !defined[t] {
+					defined[t] = true
+					definedDirty = append(definedDirty, t)
+				}
+			}
+		}
+		for _, t := range definedDirty {
+			defined[t] = false
+		}
+		definedDirty = definedDirty[:0]
+	}
+
+	n := len(lv.Globals)
+
+	// Pass 2: per-block UEVar (gen) and VarKill (kill) over globals.
+	nb := len(p.Blocks)
+	gen := make([]*bitset.Set, nb)
+	kill := make([]*bitset.Set, nb)
+	for _, b := range p.Blocks {
+		g := bitset.New(n)
+		k := bitset.New(n)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			ubuf = in.UseTemps(ubuf[:0])
+			for _, t := range ubuf {
+				if gi := lv.Index[t]; gi >= 0 && !k.Contains(int(gi)) {
+					g.Add(int(gi))
+				}
+			}
+			dbuf = in.DefTemps(dbuf[:0])
+			for _, t := range dbuf {
+				if gi := lv.Index[t]; gi >= 0 {
+					k.Add(int(gi))
+				}
+			}
+		}
+		gen[b.Order] = g
+		kill[b.Order] = k
+	}
+
+	lv.LiveIn, lv.LiveOut = SolveBackwardUnion(p.Blocks, n,
+		func(b *ir.Block) *bitset.Set { return gen[b.Order] },
+		func(b *ir.Block) *bitset.Set { return kill[b.Order] })
+	return lv
+}

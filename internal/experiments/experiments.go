@@ -1,0 +1,390 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3): Table 1 (dynamic instruction counts and run times),
+// Table 2 (spill-code percentages), Figure 3 (spill-code composition),
+// Table 3 (allocation times vs. candidate counts), and the §3.1/§2.5/§2.6
+// ablations. cmd/lsra-bench prints them; bench_test.go measures them.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/coloring"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/progs"
+	"repro/internal/target"
+	"repro/internal/vm"
+)
+
+// Pipeline applies the paper's pass ordering around one allocator: DCE,
+// allocate, peephole. It returns the allocated program and aggregate
+// allocation statistics.
+func Pipeline(prog *ir.Program, mach *target.Machine, a alloc.Allocator) (*ir.Program, alloc.Stats, error) {
+	out := ir.NewProgram(prog.MemWords)
+	out.Main = prog.Main
+	for addr, v := range prog.MemInit {
+		out.SetMem(addr, v)
+	}
+	var agg alloc.Stats
+	for _, p := range prog.Procs {
+		in := p.Clone()
+		opt.DeadCodeElim(in)
+		res, err := a.Allocate(in)
+		if err != nil {
+			return nil, agg, fmt.Errorf("%s: %s: %w", a.Name(), p.Name, err)
+		}
+		opt.Peephole(res.Proc)
+		agg.Candidates += res.Stats.Candidates
+		agg.SpilledTemps += res.Stats.SpilledTemps
+		agg.UsedCalleeSaved += res.Stats.UsedCalleeSaved
+		agg.AllocTime += res.Stats.AllocTime
+		agg.InterferenceEdges += res.Stats.InterferenceEdges
+		agg.Rounds += res.Stats.Rounds
+		for i, c := range res.Stats.Inserted {
+			agg.Inserted[i] += c
+		}
+		out.AddProc(res.Proc)
+	}
+	return out, agg, nil
+}
+
+// RunBench builds one suite benchmark at the given scale, allocates it
+// with the allocator, executes it, and returns the dynamic counters.
+func RunBench(b *progs.Benchmark, mach *target.Machine, scale int, a alloc.Allocator) (vm.Counters, alloc.Stats, error) {
+	prog := b.Build(mach, scale)
+	allocd, stats, err := Pipeline(prog, mach, a)
+	if err != nil {
+		return vm.Counters{}, stats, err
+	}
+	var input []byte
+	if b.Input != nil {
+		input = b.Input(scale)
+	}
+	res, err := vm.Run(allocd, vm.Config{Mach: mach, Input: input})
+	if err != nil {
+		return vm.Counters{}, stats, fmt.Errorf("%s under %s: %w", b.Name, a.Name(), err)
+	}
+	return res.Counters, stats, nil
+}
+
+// Binpack returns the paper-configured second-chance allocator.
+func Binpack(mach *target.Machine) alloc.Allocator { return core.NewDefault(mach) }
+
+// TwoPass returns the traditional two-pass binpacking allocator.
+func TwoPass(mach *target.Machine) alloc.Allocator {
+	o := core.DefaultOptions()
+	o.SecondChance = false
+	return core.New(mach, o)
+}
+
+// GraphColoring returns the George–Appel allocator.
+func GraphColoring(mach *target.Machine) alloc.Allocator { return coloring.New(mach) }
+
+// Table1Row compares dynamic instruction counts and simulated cycles for
+// one benchmark (larger ratios mean poorer binpacking code, as in the
+// paper).
+type Table1Row struct {
+	Benchmark                     string
+	BinpackInstrs, ColoringInstrs int64
+	InstrRatio                    float64
+	BinpackCycles, ColoringCycles int64
+	CycleRatio                    float64
+}
+
+// Table1 regenerates Table 1 over the whole suite.
+func Table1(mach *target.Machine, scaleMul float64) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, b := range progs.Suite() {
+		scale := scaled(b.DefaultScale, scaleMul)
+		cb, _, err := RunBench(b, mach, scale, Binpack(mach))
+		if err != nil {
+			return nil, err
+		}
+		cg, _, err := RunBench(b, mach, scale, GraphColoring(mach))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Benchmark:      b.Name,
+			BinpackInstrs:  cb.Total,
+			ColoringInstrs: cg.Total,
+			InstrRatio:     ratio(cb.Total, cg.Total),
+			BinpackCycles:  cb.Cycles,
+			ColoringCycles: cg.Cycles,
+			CycleRatio:     ratio(cb.Cycles, cg.Cycles),
+		})
+	}
+	return rows, nil
+}
+
+// Table2Row reports the percentage of dynamic instructions that are
+// allocator-inserted spill code.
+type Table2Row struct {
+	Benchmark                   string
+	BinpackPct, ColoringPct     float64
+	BinpackSpill, ColoringSpill int64
+}
+
+// Table2 regenerates Table 2.
+func Table2(mach *target.Machine, scaleMul float64) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, b := range progs.Suite() {
+		scale := scaled(b.DefaultScale, scaleMul)
+		cb, _, err := RunBench(b, mach, scale, Binpack(mach))
+		if err != nil {
+			return nil, err
+		}
+		cg, _, err := RunBench(b, mach, scale, GraphColoring(mach))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			Benchmark:     b.Name,
+			BinpackSpill:  cb.SpillOverhead(),
+			ColoringSpill: cg.SpillOverhead(),
+			BinpackPct:    pct(cb.SpillOverhead(), cb.Total),
+			ColoringPct:   pct(cg.SpillOverhead(), cg.Total),
+		})
+	}
+	return rows, nil
+}
+
+// Figure3Row is the spill-code composition of one benchmark under one
+// allocator, normalized to the binpacking total for that benchmark (the
+// y-axis of Figure 3). Scheme is "b" (binpacking) or "c" (coloring), as
+// in the figure's labels.
+type Figure3Row struct {
+	Benchmark string
+	Scheme    string
+	// Dynamic counts.
+	EvictLoads, EvictStores, EvictMoves       int64
+	ResolveLoads, ResolveStores, ResolveMoves int64
+	// Normalized to the binpacking total spill count.
+	Normalized float64
+}
+
+// Figure3Benchmarks are the spill-heavy benchmarks the figure plots.
+var Figure3Benchmarks = []string{"doduc", "eqntott", "espresso", "fpppp", "sort", "m88ksim"}
+
+// Figure3 regenerates the spill composition data behind Figure 3.
+func Figure3(mach *target.Machine, scaleMul float64) ([]Figure3Row, error) {
+	var rows []Figure3Row
+	for _, name := range Figure3Benchmarks {
+		b := progs.Named(name)
+		scale := scaled(b.DefaultScale, scaleMul)
+		cb, _, err := RunBench(b, mach, scale, Binpack(mach))
+		if err != nil {
+			return nil, err
+		}
+		cg, _, err := RunBench(b, mach, scale, GraphColoring(mach))
+		if err != nil {
+			return nil, err
+		}
+		base := cb.SpillOverhead()
+		mk := func(scheme string, c vm.Counters) Figure3Row {
+			return Figure3Row{
+				Benchmark:     name,
+				Scheme:        scheme,
+				EvictLoads:    c.ByTag[ir.TagScanLoad],
+				EvictStores:   c.ByTag[ir.TagScanStore],
+				EvictMoves:    c.ByTag[ir.TagScanMove],
+				ResolveLoads:  c.ByTag[ir.TagResolveLoad],
+				ResolveStores: c.ByTag[ir.TagResolveStore],
+				ResolveMoves:  c.ByTag[ir.TagResolveMove],
+				Normalized:    ratio(c.SpillOverhead(), base),
+			}
+		}
+		rows = append(rows, mk("b", cb), mk("c", cg))
+	}
+	return rows, nil
+}
+
+// Table3Row compares allocation (compile) time on one module.
+type Table3Row struct {
+	Module            string
+	Candidates        int // average per procedure
+	InterferenceEdges int // average per procedure, over all rounds
+	ColoringTime      time.Duration
+	BinpackTime       time.Duration
+}
+
+// Table3 regenerates Table 3: allocation-core wall-clock time for both
+// allocators on modules of increasing candidate counts. Times cover only
+// the allocator cores (setup excluded), as in §3.2; each measurement is
+// the best of five runs, as in the paper.
+func Table3(mach *target.Machine) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, mod := range progs.Table3Modules(mach) {
+		row := Table3Row{Module: mod.Name}
+		nprocs := 0
+		for _, p := range mod.Prog.Procs {
+			if p.Name != "main" {
+				nprocs++
+			}
+		}
+		best := func(a alloc.Allocator) (time.Duration, alloc.Stats, error) {
+			var bestT time.Duration
+			var stats alloc.Stats
+			for rep := 0; rep < 5; rep++ {
+				var total time.Duration
+				var agg alloc.Stats
+				for _, p := range mod.Prog.Procs {
+					if p.Name == "main" {
+						continue
+					}
+					res, err := a.Allocate(p)
+					if err != nil {
+						return 0, agg, err
+					}
+					total += res.Stats.AllocTime
+					agg.Candidates += res.Stats.Candidates
+					agg.InterferenceEdges += res.Stats.InterferenceEdges
+				}
+				if rep == 0 || total < bestT {
+					bestT = total
+				}
+				stats = agg
+			}
+			return bestT, stats, nil
+		}
+		gcT, gcStats, err := best(GraphColoring(mach))
+		if err != nil {
+			return nil, err
+		}
+		bpT, _, err := best(Binpack(mach))
+		if err != nil {
+			return nil, err
+		}
+		row.ColoringTime = gcT
+		row.BinpackTime = bpT
+		row.Candidates = gcStats.Candidates / nprocs
+		row.InterferenceEdges = gcStats.InterferenceEdges / nprocs
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationRow compares dynamic instruction counts of binpacking variants
+// on one benchmark.
+type AblationRow struct {
+	Benchmark string
+	Variant   string
+	Instrs    int64
+	Spill     int64
+	// RatioToPaper is Instrs divided by the paper-configured
+	// second-chance count for the same benchmark.
+	RatioToPaper float64
+}
+
+// Ablations runs the §3.1 two-pass comparison plus the §2.5/§2.6 feature
+// ablations over the named benchmarks.
+func Ablations(mach *target.Machine, names []string, scaleMul float64) ([]AblationRow, error) {
+	variants := []struct {
+		name string
+		mk   func() alloc.Allocator
+	}{
+		{"second-chance (paper)", func() alloc.Allocator { return core.NewDefault(mach) }},
+		{"two-pass (§3.1)", func() alloc.Allocator { return TwoPass(mach) }},
+		{"no move optimization (§2.5)", func() alloc.Allocator {
+			o := core.DefaultOptions()
+			o.MoveOpt = false
+			return core.New(mach, o)
+		}},
+		{"no early second chance (§2.5)", func() alloc.Allocator {
+			o := core.DefaultOptions()
+			o.EarlySecondChance = false
+			return core.New(mach, o)
+		}},
+		{"strict linear consistency (§2.6)", func() alloc.Allocator {
+			o := core.DefaultOptions()
+			o.StrictLinear = true
+			return core.New(mach, o)
+		}},
+		{"unweighted distance heuristic", func() alloc.Allocator {
+			o := core.DefaultOptions()
+			o.Heuristic = core.HeuristicPlainDistance
+			return core.New(mach, o)
+		}},
+	}
+	var rows []AblationRow
+	for _, name := range names {
+		b := progs.Named(name)
+		if b == nil {
+			return nil, fmt.Errorf("no benchmark %q", name)
+		}
+		scale := scaled(b.DefaultScale, scaleMul)
+		var base int64
+		for _, v := range variants {
+			c, _, err := RunBench(b, mach, scale, v.mk())
+			if err != nil {
+				return nil, err
+			}
+			if base == 0 {
+				base = c.Total
+			}
+			rows = append(rows, AblationRow{
+				Benchmark:    name,
+				Variant:      v.name,
+				Instrs:       c.Total,
+				Spill:        c.SpillOverhead(),
+				RatioToPaper: ratio(c.Total, base),
+			})
+		}
+	}
+	return rows, nil
+}
+
+func scaled(def int, mul float64) int {
+	s := int(float64(def) * mul)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+// NewBinpack builds a binpacking allocator with explicit options (used by
+// the ablation benchmarks).
+func NewBinpack(mach *target.Machine, o core.Options) alloc.Allocator { return core.New(mach, o) }
+
+// BinpackOptionsNoMoveOpt is the paper configuration minus §2.5 move
+// coalescing.
+func BinpackOptionsNoMoveOpt() core.Options {
+	o := core.DefaultOptions()
+	o.MoveOpt = false
+	return o
+}
+
+// BinpackOptionsNoESC is the paper configuration minus §2.5 early second
+// chance.
+func BinpackOptionsNoESC() core.Options {
+	o := core.DefaultOptions()
+	o.EarlySecondChance = false
+	return o
+}
+
+// BinpackOptionsStrictLinear is the §2.6 strictly-linear configuration.
+func BinpackOptionsStrictLinear() core.Options {
+	o := core.DefaultOptions()
+	o.StrictLinear = true
+	return o
+}

@@ -1,0 +1,87 @@
+package integration
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/progs"
+	"repro/internal/target"
+	"repro/internal/vm"
+)
+
+// TestSuitePrintParseRoundTrip prints every suite benchmark, parses it
+// back, and checks (a) the printed forms reach a fixed point and (b) the
+// reparsed program behaves identically on the VM. This pins the textual
+// IR format end to end.
+func TestSuitePrintParseRoundTrip(t *testing.T) {
+	mach := target.Alpha()
+	pr := &ir.Printer{Mach: mach}
+	for _, bench := range progs.Suite() {
+		t.Run(bench.Name, func(t *testing.T) {
+			prog := bench.Build(mach, 1)
+			var sb strings.Builder
+			pr.WriteProgram(&sb, prog)
+			first := sb.String()
+
+			parsed, err := ir.ParseProgram(strings.NewReader(first), mach)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if err := ir.ValidateProgram(parsed, mach); err != nil {
+				t.Fatalf("reparsed program invalid: %v", err)
+			}
+			var sb2 strings.Builder
+			pr.WriteProgram(&sb2, parsed)
+			if first != sb2.String() {
+				t.Fatal("print→parse→print is not a fixed point")
+			}
+
+			// Memory image is not part of the textual form; copy it so
+			// behavior can be compared.
+			parsed.MemInit = prog.MemInit
+			if parsed.MemWords != prog.MemWords {
+				t.Fatal("memory size lost in round trip")
+			}
+			var input []byte
+			if bench.Input != nil {
+				input = bench.Input(1)
+			}
+			want, err := vm.Run(prog, vm.Config{Mach: mach, Input: input})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := vm.Run(parsed, vm.Config{Mach: mach, Input: input})
+			if err != nil {
+				t.Fatalf("reparsed run: %v", err)
+			}
+			if !bytes.Equal(want.Output, got.Output) || want.RetValue != got.RetValue {
+				t.Fatal("reparsed program behaves differently")
+			}
+		})
+	}
+}
+
+// TestRandomProgramsRoundTrip does the same over seeded random programs,
+// and additionally allocates the reparsed program to confirm the parsed
+// IR is allocator-grade.
+func TestRandomProgramsRoundTrip(t *testing.T) {
+	mach := target.Tiny(8, 4)
+	pr := &ir.Printer{Mach: mach}
+	for seed := int64(600); seed < 612; seed++ {
+		prog := progs.Random(mach, progs.DefaultGen(seed))
+		var sb strings.Builder
+		pr.WriteProgram(&sb, prog)
+		parsed, err := ir.ParseProgram(strings.NewReader(sb.String()), mach)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		parsed.MemInit = prog.MemInit
+		input := []byte("roundtrip input")
+		for name, a := range allocators(mach) {
+			allocd := allocateProgram(t, mach, a, parsed)
+			checkEquivalent(t, mach, name, prog, allocd, input)
+		}
+	}
+}

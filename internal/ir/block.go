@@ -1,0 +1,305 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/target"
+)
+
+// Block is a basic block: a straight-line instruction sequence ending in a
+// single terminator. Successor order is significant: Br takes Succs[0]
+// when its condition is non-zero and Succs[1] otherwise; Jmp takes
+// Succs[0].
+type Block struct {
+	ID     int
+	Name   string
+	Instrs []Instr
+	Succs  []*Block
+	Preds  []*Block
+
+	// Order is the block's index in the layout (linear) order, assigned
+	// by Proc.Renumber. Depth is the loop nesting depth, assigned by
+	// cfg.ComputeLoopDepths; the spill heuristics weight references by
+	// it, as both allocators in the paper do.
+	Order int
+	Depth int
+}
+
+// Terminator returns the block's final instruction.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := &b.Instrs[len(b.Instrs)-1]
+	if !last.Op.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Body returns the instructions before the terminator.
+func (b *Block) Body() []Instr {
+	if t := b.Terminator(); t != nil {
+		return b.Instrs[:len(b.Instrs)-1]
+	}
+	return b.Instrs
+}
+
+func (b *Block) String() string {
+	if b == nil {
+		return "<nil-block>"
+	}
+	return b.Name
+}
+
+// Proc is one procedure: a CFG plus the temp tables. Blocks[0] is the
+// entry block, and the slice order is the layout (linear) order the scan
+// follows.
+type Proc struct {
+	Name   string
+	Blocks []*Block
+
+	// Params lists the formal parameter temporaries in order. The
+	// builder emits the convention moves from parameter registers.
+	Params []Temp
+
+	tempClass []target.Class
+	tempName  []string
+
+	// NumSlots is the number of stack slots the frame needs after
+	// allocation (spill homes plus callee-save slots).
+	NumSlots int
+
+	nextBlockID int
+}
+
+// NewProc returns an empty procedure.
+func NewProc(name string) *Proc {
+	return &Proc{Name: name}
+}
+
+// NewTemp introduces a fresh temporary of class c with a diagnostic name.
+// An empty name is replaced by "tN".
+func (p *Proc) NewTemp(c target.Class, name string) Temp {
+	t := Temp(len(p.tempClass))
+	if name == "" {
+		name = fmt.Sprintf("t%d", t)
+	}
+	p.tempClass = append(p.tempClass, c)
+	p.tempName = append(p.tempName, name)
+	return t
+}
+
+// NumTemps returns the number of temporaries created so far.
+func (p *Proc) NumTemps() int { return len(p.tempClass) }
+
+// TempClass returns the register file t belongs to.
+func (p *Proc) TempClass(t Temp) target.Class { return p.tempClass[t] }
+
+// TempName returns the diagnostic name of t.
+func (p *Proc) TempName(t Temp) string {
+	if t == NoTemp {
+		return "<none>"
+	}
+	return p.tempName[t]
+}
+
+// NewBlock appends a fresh empty block to the layout order.
+func (p *Proc) NewBlock(name string) *Block {
+	b := &Block{ID: p.nextBlockID, Name: name}
+	if name == "" {
+		b.Name = fmt.Sprintf("b%d", b.ID)
+	}
+	p.nextBlockID++
+	p.Blocks = append(p.Blocks, b)
+	return b
+}
+
+// Entry returns the entry block.
+func (p *Proc) Entry() *Block {
+	if len(p.Blocks) == 0 {
+		return nil
+	}
+	return p.Blocks[0]
+}
+
+// AddEdge records a CFG edge from b to s, appending to b.Succs and
+// s.Preds. Terminator construction uses it; prefer the builder API.
+func AddEdge(b, s *Block) {
+	b.Succs = append(b.Succs, s)
+	s.Preds = append(s.Preds, b)
+}
+
+// Renumber assigns Block.Order in layout order and Instr.Pos sequentially
+// across the whole procedure, and returns the total instruction count.
+// Positions are the coordinate system for lifetimes and holes.
+func (p *Proc) Renumber() int {
+	pos := int32(0)
+	for i, b := range p.Blocks {
+		b.Order = i
+		for j := range b.Instrs {
+			b.Instrs[j].Pos = pos
+			pos++
+		}
+	}
+	return int(pos)
+}
+
+// NumInstrs returns the total instruction count.
+func (p *Proc) NumInstrs() int {
+	n := 0
+	for _, b := range p.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// SplitEdge breaks the edge from pred to succ by inserting a fresh block
+// containing only a Jmp to succ, and returns the new block. The paper's
+// resolution phase splits critical edges to get a safe location for
+// resolution code (§2.4, footnote 1). The new block is appended to the
+// layout order; callers that depend on positions must Renumber afterwards.
+func (p *Proc) SplitEdge(pred, succ *Block) *Block {
+	nb := p.NewBlock(fmt.Sprintf("split_%s_%s", pred.Name, succ.Name))
+	nb.Instrs = []Instr{{Op: Jmp}}
+	nb.Succs = []*Block{succ}
+	nb.Preds = []*Block{pred}
+	replaced := false
+	for i, s := range pred.Succs {
+		if s == succ && !replaced {
+			pred.Succs[i] = nb
+			replaced = true
+		}
+	}
+	if !replaced {
+		panic(fmt.Sprintf("ir: SplitEdge(%s,%s): no such edge", pred.Name, succ.Name))
+	}
+	replaced = false
+	for i, q := range succ.Preds {
+		if q == pred && !replaced {
+			succ.Preds[i] = nb
+			replaced = true
+		}
+	}
+	if !replaced {
+		panic(fmt.Sprintf("ir: SplitEdge(%s,%s): succ missing pred", pred.Name, succ.Name))
+	}
+	return nb
+}
+
+// NewSlot reserves a fresh stack slot and returns its index.
+func (p *Proc) NewSlot() int {
+	s := p.NumSlots
+	p.NumSlots++
+	return s
+}
+
+// Clone returns a deep copy of the procedure. Allocators clone before
+// rewriting so that several allocators can be compared on the same input.
+func (p *Proc) Clone() *Proc {
+	q := &Proc{
+		Name:        p.Name,
+		Params:      append([]Temp(nil), p.Params...),
+		tempClass:   append([]target.Class(nil), p.tempClass...),
+		tempName:    append([]string(nil), p.tempName...),
+		NumSlots:    p.NumSlots,
+		nextBlockID: p.nextBlockID,
+	}
+	old2new := make(map[*Block]*Block, len(p.Blocks))
+	for _, b := range p.Blocks {
+		nb := &Block{
+			ID:    b.ID,
+			Name:  b.Name,
+			Order: b.Order,
+			Depth: b.Depth,
+		}
+		nb.Instrs = make([]Instr, len(b.Instrs))
+		for i, in := range b.Instrs {
+			ni := in
+			ni.Defs = append([]Operand(nil), in.Defs...)
+			ni.Uses = append([]Operand(nil), in.Uses...)
+			if in.OrigUses != nil {
+				ni.OrigUses = append([]Temp(nil), in.OrigUses...)
+			}
+			if in.OrigDefs != nil {
+				ni.OrigDefs = append([]Temp(nil), in.OrigDefs...)
+			}
+			nb.Instrs[i] = ni
+		}
+		old2new[b] = nb
+		q.Blocks = append(q.Blocks, nb)
+	}
+	for _, b := range p.Blocks {
+		nb := old2new[b]
+		for _, s := range b.Succs {
+			nb.Succs = append(nb.Succs, old2new[s])
+		}
+		for _, pr := range b.Preds {
+			nb.Preds = append(nb.Preds, old2new[pr])
+		}
+	}
+	return q
+}
+
+// Program is a set of procedures plus the global memory image and the
+// entry procedure name.
+type Program struct {
+	Procs  []*Proc
+	byName map[string]*Proc
+
+	// MemWords is the size of global memory in 64-bit words; MemInit
+	// holds initial nonzero words.
+	MemWords int
+	MemInit  map[int]int64
+
+	Main string
+}
+
+// NewProgram returns an empty program with memWords words of zeroed
+// global memory.
+func NewProgram(memWords int) *Program {
+	return &Program{
+		byName:   make(map[string]*Proc),
+		MemWords: memWords,
+		MemInit:  make(map[int]int64),
+		Main:     "main",
+	}
+}
+
+// AddProc registers a procedure.
+func (pr *Program) AddProc(p *Proc) {
+	if _, dup := pr.byName[p.Name]; dup {
+		panic(fmt.Sprintf("ir: duplicate procedure %q", p.Name))
+	}
+	pr.Procs = append(pr.Procs, p)
+	pr.byName[p.Name] = p
+}
+
+// Proc returns the procedure with the given name, or nil.
+func (pr *Program) Proc(name string) *Proc { return pr.byName[name] }
+
+// SetMem sets an initial memory word.
+func (pr *Program) SetMem(addr int, v int64) {
+	if addr < 0 || addr >= pr.MemWords {
+		panic(fmt.Sprintf("ir: SetMem(%d) outside memory of %d words", addr, pr.MemWords))
+	}
+	pr.MemInit[addr] = v
+}
+
+// SetMemF sets an initial memory word to the bit pattern of a float.
+func (pr *Program) SetMemF(addr int, v float64) {
+	pr.SetMem(addr, int64(floatBits(v)))
+}
+
+// Clone deep-copies the program (procedures and memory image).
+func (pr *Program) Clone() *Program {
+	q := NewProgram(pr.MemWords)
+	q.Main = pr.Main
+	for a, v := range pr.MemInit {
+		q.MemInit[a] = v
+	}
+	for _, p := range pr.Procs {
+		q.AddProc(p.Clone())
+	}
+	return q
+}

@@ -1,0 +1,235 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/target"
+)
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+
+// Builder constructs Programs against a specific machine. The machine is
+// needed because, as in the paper's Alpha backend, the builder lowers the
+// calling convention eagerly: parameter values arrive in physical
+// registers and are moved into temporaries at the top of each procedure,
+// and call sites move arguments into parameter registers (§2.5).
+type Builder struct {
+	Prog *Program
+	Mach *target.Machine
+}
+
+// NewBuilder returns a Builder for a fresh program with memWords words of
+// global memory.
+func NewBuilder(m *target.Machine, memWords int) *Builder {
+	return &Builder{Prog: NewProgram(memWords), Mach: m}
+}
+
+// ProcBuilder emits instructions into one procedure. Emission targets the
+// current block; terminators close it, after which a new block must be
+// selected with StartBlock.
+type ProcBuilder struct {
+	P *Proc
+	b *Builder
+
+	cur    *Block
+	closed bool
+}
+
+// NewProc starts a procedure whose parameters have the given classes.
+// The entry block is created and selected, and convention moves from the
+// parameter registers into fresh parameter temporaries are emitted.
+func (b *Builder) NewProc(name string, paramClasses ...target.Class) *ProcBuilder {
+	p := NewProc(name)
+	pb := &ProcBuilder{P: p, b: b}
+	entry := p.NewBlock("entry")
+	pb.cur = entry
+	var nextIdx [target.NumClasses]int
+	for i, c := range paramClasses {
+		regs := b.Mach.ParamRegs(c)
+		idx := nextIdx[c]
+		if idx >= len(regs) {
+			panic(fmt.Sprintf("ir: proc %s: too many %v parameters (max %d)", name, c, len(regs)))
+		}
+		nextIdx[c]++
+		t := p.NewTemp(c, fmt.Sprintf("arg%d", i))
+		p.Params = append(p.Params, t)
+		op := Mov
+		if c == target.ClassFloat {
+			op = FMov
+		}
+		pb.emit(Instr{Op: op, Defs: []Operand{TempOp(t)}, Uses: []Operand{RegOp(regs[idx])}})
+	}
+	b.Prog.AddProc(p)
+	return pb
+}
+
+// Temp introduces a fresh temporary.
+func (pb *ProcBuilder) Temp(c target.Class, name string) Temp { return pb.P.NewTemp(c, name) }
+
+// IntTemp introduces a fresh integer temporary.
+func (pb *ProcBuilder) IntTemp(name string) Temp { return pb.P.NewTemp(target.ClassInt, name) }
+
+// FloatTemp introduces a fresh float temporary.
+func (pb *ProcBuilder) FloatTemp(name string) Temp { return pb.P.NewTemp(target.ClassFloat, name) }
+
+// Block creates a new (unselected) block.
+func (pb *ProcBuilder) Block(name string) *Block { return pb.P.NewBlock(name) }
+
+// StartBlock makes blk the emission target. The previous block must have
+// been closed by a terminator.
+func (pb *ProcBuilder) StartBlock(blk *Block) {
+	if pb.cur != nil && !pb.closed {
+		panic(fmt.Sprintf("ir: proc %s: block %s not terminated before starting %s",
+			pb.P.Name, pb.cur.Name, blk.Name))
+	}
+	pb.cur = blk
+	pb.closed = false
+}
+
+// Cur returns the current emission block.
+func (pb *ProcBuilder) Cur() *Block { return pb.cur }
+
+func (pb *ProcBuilder) emit(in Instr) {
+	if pb.cur == nil {
+		panic(fmt.Sprintf("ir: proc %s: no current block", pb.P.Name))
+	}
+	if pb.closed {
+		panic(fmt.Sprintf("ir: proc %s: emitting %v into closed block %s", pb.P.Name, in.Op, pb.cur.Name))
+	}
+	pb.cur.Instrs = append(pb.cur.Instrs, in)
+	if in.Op.IsTerminator() {
+		pb.closed = true
+	}
+}
+
+// Emit appends a raw instruction (escape hatch for tests).
+func (pb *ProcBuilder) Emit(in Instr) { pb.emit(in) }
+
+// --- straight-line emission helpers -------------------------------------
+
+// Op2 emits a two-source ALU instruction d ← a op b.
+func (pb *ProcBuilder) Op2(op Op, d Temp, a, b Operand) {
+	pb.emit(Instr{Op: op, Defs: []Operand{TempOp(d)}, Uses: []Operand{a, b}})
+}
+
+// Op1 emits a one-source instruction d ← op a.
+func (pb *ProcBuilder) Op1(op Op, d Temp, a Operand) {
+	pb.emit(Instr{Op: op, Defs: []Operand{TempOp(d)}, Uses: []Operand{a}})
+}
+
+// Ldi emits d ← v.
+func (pb *ProcBuilder) Ldi(d Temp, v int64) { pb.Op1(Ldi, d, ImmOp(v)) }
+
+// FLdi emits d ← v for a float temporary.
+func (pb *ProcBuilder) FLdi(d Temp, v float64) { pb.Op1(FLdi, d, FImmOp(v)) }
+
+// Mov emits d ← s within the integer file. s may be a physical register.
+func (pb *ProcBuilder) Mov(d Temp, s Operand) { pb.Op1(Mov, d, s) }
+
+// FMov emits d ← s within the float file.
+func (pb *ProcBuilder) FMov(d Temp, s Operand) { pb.Op1(FMov, d, s) }
+
+// Ld emits d ← mem[base+disp].
+func (pb *ProcBuilder) Ld(d Temp, base Operand, disp int64) {
+	pb.emit(Instr{Op: Ld, Defs: []Operand{TempOp(d)}, Uses: []Operand{base, ImmOp(disp)}})
+}
+
+// St emits mem[base+disp] ← src.
+func (pb *ProcBuilder) St(src Operand, base Operand, disp int64) {
+	pb.emit(Instr{Op: St, Uses: []Operand{src, base, ImmOp(disp)}})
+}
+
+// FLd emits float d ← mem[base+disp].
+func (pb *ProcBuilder) FLd(d Temp, base Operand, disp int64) {
+	pb.emit(Instr{Op: FLd, Defs: []Operand{TempOp(d)}, Uses: []Operand{base, ImmOp(disp)}})
+}
+
+// FSt emits mem[base+disp] ← float src.
+func (pb *ProcBuilder) FSt(src Operand, base Operand, disp int64) {
+	pb.emit(Instr{Op: FSt, Uses: []Operand{src, base, ImmOp(disp)}})
+}
+
+// --- control flow --------------------------------------------------------
+
+// Jmp terminates the current block with an unconditional jump.
+func (pb *ProcBuilder) Jmp(t *Block) {
+	pb.emit(Instr{Op: Jmp})
+	AddEdge(pb.cur, t)
+}
+
+// Br terminates the current block with a conditional branch: to then when
+// cond is non-zero, else to els.
+func (pb *ProcBuilder) Br(cond Operand, then, els *Block) {
+	pb.emit(Instr{Op: Br, Uses: []Operand{cond}})
+	AddEdge(pb.cur, then)
+	AddEdge(pb.cur, els)
+}
+
+// Ret terminates the current block returning val (NoTemp for void). The
+// convention move into the return register is emitted first.
+func (pb *ProcBuilder) Ret(val Temp) {
+	if val != NoTemp {
+		c := pb.P.TempClass(val)
+		op := Mov
+		if c == target.ClassFloat {
+			op = FMov
+		}
+		pb.emit(Instr{Op: op, Defs: []Operand{RegOp(pb.b.Mach.RetReg(c))}, Uses: []Operand{TempOp(val)}})
+	}
+	pb.emit(Instr{Op: Ret})
+}
+
+// Call emits a call to name, lowering the convention: arguments are moved
+// into parameter registers, the call instruction uses those registers and
+// defines the return register, and the result (if any) is moved into the
+// result temporary. Integer immediates are materialized via Ldi into the
+// parameter register move.
+func (pb *ProcBuilder) Call(name string, result Temp, args ...Operand) {
+	var nextIdx [target.NumClasses]int
+	callUses := []Operand{SymOp(name)}
+	for _, a := range args {
+		var c target.Class
+		switch a.Kind {
+		case KindTemp:
+			c = pb.P.TempClass(a.Temp)
+		case KindImm:
+			c = target.ClassInt
+		case KindFImm:
+			c = target.ClassFloat
+		default:
+			panic(fmt.Sprintf("ir: call %s: bad argument kind %d", name, a.Kind))
+		}
+		regs := pb.b.Mach.ParamRegs(c)
+		idx := nextIdx[c]
+		if idx >= len(regs) {
+			panic(fmt.Sprintf("ir: call %s: too many %v arguments (max %d)", name, c, len(regs)))
+		}
+		nextIdx[c]++
+		r := regs[idx]
+		switch {
+		case a.Kind == KindImm:
+			pb.emit(Instr{Op: Ldi, Defs: []Operand{RegOp(r)}, Uses: []Operand{a}})
+		case a.Kind == KindFImm:
+			pb.emit(Instr{Op: FLdi, Defs: []Operand{RegOp(r)}, Uses: []Operand{a}})
+		case c == target.ClassFloat:
+			pb.emit(Instr{Op: FMov, Defs: []Operand{RegOp(r)}, Uses: []Operand{a}})
+		default:
+			pb.emit(Instr{Op: Mov, Defs: []Operand{RegOp(r)}, Uses: []Operand{a}})
+		}
+		callUses = append(callUses, RegOp(r))
+	}
+	var defs []Operand
+	if result != NoTemp {
+		defs = []Operand{RegOp(pb.b.Mach.RetReg(pb.P.TempClass(result)))}
+	}
+	pb.emit(Instr{Op: Call, Defs: defs, Uses: callUses})
+	if result != NoTemp {
+		c := pb.P.TempClass(result)
+		op := Mov
+		if c == target.ClassFloat {
+			op = FMov
+		}
+		pb.emit(Instr{Op: op, Defs: []Operand{TempOp(result)}, Uses: []Operand{RegOp(pb.b.Mach.RetReg(c))}})
+	}
+}

@@ -1,0 +1,351 @@
+// Package ir defines the intermediate representation the register
+// allocators operate on: a load/store three-address code over an explicit
+// control-flow graph, in the style of the Machine SUIF CFG library the
+// paper builds on.
+//
+// Register candidates — program variables and compiler temporaries alike —
+// are Temps (the paper calls all candidates "temporaries", §2.1). Operands
+// may also name physical registers: as on the paper's Alpha backend, the
+// calling convention is made explicit by move instructions between
+// parameter/return registers and temporaries, and call instructions
+// use/define physical registers directly. Allocation replaces every Temp
+// operand with a physical register and introduces stack-slot operands for
+// spill code.
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/target"
+)
+
+// Temp names a register candidate. Temps are dense indices into the
+// owning Proc's temp tables.
+type Temp int32
+
+// NoTemp is the sentinel for "no temporary".
+const NoTemp Temp = -1
+
+// Kind discriminates Operand variants.
+type Kind uint8
+
+const (
+	KindNone Kind = iota
+	KindTemp      // a register candidate (pre-allocation)
+	KindReg       // a physical register
+	KindImm       // an integer immediate
+	KindFImm      // a floating-point immediate
+	KindSlot      // a stack slot (spill home), introduced by allocation
+	KindSym       // a callee symbol for Call
+)
+
+// Operand is one use or def position of an instruction.
+//
+// A KindSlot operand records both the slot index (Imm) and the temporary
+// whose spill home it is (Temp); the latter exists for verification and
+// diagnostics and has no runtime meaning.
+type Operand struct {
+	Kind Kind
+	Temp Temp       // KindTemp, and owner for KindSlot
+	Reg  target.Reg // KindReg
+	Imm  int64      // KindImm value, KindSlot index
+	F    float64    // KindFImm value
+	Sym  string     // KindSym
+}
+
+// TempOp returns a temporary operand.
+func TempOp(t Temp) Operand { return Operand{Kind: KindTemp, Temp: t} }
+
+// RegOp returns a physical-register operand.
+func RegOp(r target.Reg) Operand { return Operand{Kind: KindReg, Reg: r} }
+
+// ImmOp returns an integer immediate operand.
+func ImmOp(v int64) Operand { return Operand{Kind: KindImm, Imm: v} }
+
+// FImmOp returns a floating-point immediate operand.
+func FImmOp(v float64) Operand { return Operand{Kind: KindFImm, F: v} }
+
+// SlotOp returns a stack-slot operand for slot index s belonging to t.
+func SlotOp(s int, t Temp) Operand { return Operand{Kind: KindSlot, Imm: int64(s), Temp: t} }
+
+// SymOp returns a callee-symbol operand.
+func SymOp(name string) Operand { return Operand{Kind: KindSym, Sym: name} }
+
+// Op enumerates the instruction set: a compact Alpha-flavored load/store
+// architecture. Every value-producing instruction writes exactly one
+// destination. Comparison results are integer 0/1. CvtIF/CvtFI and the
+// float-compare family cross register files (the Alpha routes such values
+// through memory; we model them as single pseudo-instructions, which is
+// neutral to allocation since each operand still has a unique file).
+type Op uint8
+
+const (
+	Nop Op = iota
+
+	// Integer ALU.
+	Mov // d ← s
+	Ldi // d ← imm
+	Add
+	Sub
+	Mul
+	Div // quotient; divide by zero yields 0 (the VM defines it) so programs stay total
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Neg
+	Not
+	CmpEQ
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+
+	// Floating point.
+	FMov
+	FLdi
+	FAdd
+	FSub
+	FMul
+	FDiv
+	FNeg
+	FCmpEQ // int d ← float a == float b
+	FCmpLT
+	FCmpLE
+	CvtIF // float d ← int s
+	CvtFI // int d ← float s (truncation)
+
+	// Memory: one flat word-addressed global memory.
+	Ld  // int d ← mem[base+disp]
+	St  // mem[base+disp] ← int s
+	FLd // float d ← mem[base+disp]
+	FSt // mem[base+disp] ← float s
+
+	// Spill code (introduced by allocation).
+	SpillLd // d ← slot
+	SpillSt // slot ← s
+
+	// Control flow. Terminators carry no label operands: Jmp transfers
+	// to Succs[0]; Br transfers to Succs[0] when its condition is
+	// non-zero, else Succs[1]; Ret leaves the procedure.
+	Jmp
+	Br
+	Ret
+
+	// Call invokes Uses[0].Sym. Remaining uses are the physical
+	// argument registers; Defs holds the physical return register when
+	// the callee produces a value. A call clobbers every caller-saved
+	// register (the machine defines the set).
+	Call
+
+	numOps
+)
+
+// anyClass marks operand positions whose register file is determined by
+// the operand itself rather than the opcode (spill code).
+const anyClass target.Class = 0xff
+
+type opInfo struct {
+	name       string
+	uses       []target.Class // expected class per use position; nil = variadic (Call)
+	defs       []target.Class
+	terminator bool
+	immOK      []bool // whether an integer immediate may appear at each use position
+}
+
+var ci = target.ClassInt
+var cf = target.ClassFloat
+
+var opTable = [numOps]opInfo{
+	Nop: {name: "nop"},
+
+	Mov: {name: "mov", uses: []target.Class{ci}, defs: []target.Class{ci}},
+	Ldi: {name: "ldi", uses: []target.Class{ci}, defs: []target.Class{ci}, immOK: []bool{true}},
+	Add: {name: "add", uses: []target.Class{ci, ci}, defs: []target.Class{ci}, immOK: []bool{false, true}},
+	Sub: {name: "sub", uses: []target.Class{ci, ci}, defs: []target.Class{ci}, immOK: []bool{false, true}},
+	Mul: {name: "mul", uses: []target.Class{ci, ci}, defs: []target.Class{ci}, immOK: []bool{false, true}},
+	Div: {name: "div", uses: []target.Class{ci, ci}, defs: []target.Class{ci}, immOK: []bool{false, true}},
+	Rem: {name: "rem", uses: []target.Class{ci, ci}, defs: []target.Class{ci}, immOK: []bool{false, true}},
+	And: {name: "and", uses: []target.Class{ci, ci}, defs: []target.Class{ci}, immOK: []bool{false, true}},
+	Or:  {name: "or", uses: []target.Class{ci, ci}, defs: []target.Class{ci}, immOK: []bool{false, true}},
+	Xor: {name: "xor", uses: []target.Class{ci, ci}, defs: []target.Class{ci}, immOK: []bool{false, true}},
+	Shl: {name: "shl", uses: []target.Class{ci, ci}, defs: []target.Class{ci}, immOK: []bool{false, true}},
+	Shr: {name: "shr", uses: []target.Class{ci, ci}, defs: []target.Class{ci}, immOK: []bool{false, true}},
+	Neg: {name: "neg", uses: []target.Class{ci}, defs: []target.Class{ci}},
+	Not: {name: "not", uses: []target.Class{ci}, defs: []target.Class{ci}},
+
+	CmpEQ: {name: "cmpeq", uses: []target.Class{ci, ci}, defs: []target.Class{ci}, immOK: []bool{false, true}},
+	CmpNE: {name: "cmpne", uses: []target.Class{ci, ci}, defs: []target.Class{ci}, immOK: []bool{false, true}},
+	CmpLT: {name: "cmplt", uses: []target.Class{ci, ci}, defs: []target.Class{ci}, immOK: []bool{false, true}},
+	CmpLE: {name: "cmple", uses: []target.Class{ci, ci}, defs: []target.Class{ci}, immOK: []bool{false, true}},
+	CmpGT: {name: "cmpgt", uses: []target.Class{ci, ci}, defs: []target.Class{ci}, immOK: []bool{false, true}},
+	CmpGE: {name: "cmpge", uses: []target.Class{ci, ci}, defs: []target.Class{ci}, immOK: []bool{false, true}},
+
+	FMov:   {name: "fmov", uses: []target.Class{cf}, defs: []target.Class{cf}},
+	FLdi:   {name: "fldi", uses: []target.Class{cf}, defs: []target.Class{cf}, immOK: []bool{true}},
+	FAdd:   {name: "fadd", uses: []target.Class{cf, cf}, defs: []target.Class{cf}, immOK: []bool{false, true}},
+	FSub:   {name: "fsub", uses: []target.Class{cf, cf}, defs: []target.Class{cf}, immOK: []bool{false, true}},
+	FMul:   {name: "fmul", uses: []target.Class{cf, cf}, defs: []target.Class{cf}, immOK: []bool{false, true}},
+	FDiv:   {name: "fdiv", uses: []target.Class{cf, cf}, defs: []target.Class{cf}, immOK: []bool{false, true}},
+	FNeg:   {name: "fneg", uses: []target.Class{cf}, defs: []target.Class{cf}},
+	FCmpEQ: {name: "fcmpeq", uses: []target.Class{cf, cf}, defs: []target.Class{ci}},
+	FCmpLT: {name: "fcmplt", uses: []target.Class{cf, cf}, defs: []target.Class{ci}},
+	FCmpLE: {name: "fcmple", uses: []target.Class{cf, cf}, defs: []target.Class{ci}},
+	CvtIF:  {name: "cvtif", uses: []target.Class{ci}, defs: []target.Class{cf}},
+	CvtFI:  {name: "cvtfi", uses: []target.Class{cf}, defs: []target.Class{ci}},
+
+	Ld:  {name: "ld", uses: []target.Class{ci, ci}, defs: []target.Class{ci}, immOK: []bool{true, true}},
+	St:  {name: "st", uses: []target.Class{ci, ci, ci}, defs: nil, immOK: []bool{false, true, true}},
+	FLd: {name: "fld", uses: []target.Class{ci, ci}, defs: []target.Class{cf}, immOK: []bool{true, true}},
+	FSt: {name: "fst", uses: []target.Class{cf, ci, ci}, defs: nil, immOK: []bool{false, true, true}},
+
+	SpillLd: {name: "spill.ld", uses: []target.Class{anyClass}, defs: []target.Class{anyClass}},
+	SpillSt: {name: "spill.st", uses: []target.Class{anyClass, anyClass}},
+
+	Jmp:  {name: "jmp", terminator: true},
+	Br:   {name: "br", uses: []target.Class{ci}, terminator: true},
+	Ret:  {name: "ret", terminator: true},
+	Call: {name: "call"},
+}
+
+// String returns the mnemonic of op.
+func (op Op) String() string {
+	if op >= numOps {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// IsTerminator reports whether op ends a basic block.
+func (op Op) IsTerminator() bool { return opTable[op].terminator }
+
+// IsMove reports whether op is a register-to-register copy within one
+// file. Moves are the coalescing candidates for both allocators.
+func (op Op) IsMove() bool { return op == Mov || op == FMov }
+
+// Tag classifies allocator-inserted instructions so the VM can attribute
+// dynamic spill overhead the way Figure 3 of the paper does.
+type Tag uint8
+
+const (
+	TagNone        Tag = iota // original program instruction
+	TagScanLoad               // "evict load": reload inserted during the linear scan (second chance)
+	TagScanStore              // "evict store": spill store inserted during the scan
+	TagScanMove               // "evict move": early-second-chance or coalescing move from the scan
+	TagResolveLoad            // resolution-phase load (§2.4)
+	TagResolveStore
+	TagResolveMove
+	TagSave    // callee-saved register save in the prologue
+	TagRestore // callee-saved register restore before return
+	numTags
+)
+
+func (t Tag) String() string {
+	switch t {
+	case TagNone:
+		return "orig"
+	case TagScanLoad:
+		return "evict.load"
+	case TagScanStore:
+		return "evict.store"
+	case TagScanMove:
+		return "evict.move"
+	case TagResolveLoad:
+		return "resolve.load"
+	case TagResolveStore:
+		return "resolve.store"
+	case TagResolveMove:
+		return "resolve.move"
+	case TagSave:
+		return "save"
+	case TagRestore:
+		return "restore"
+	}
+	return fmt.Sprintf("tag(%d)", uint8(t))
+}
+
+// NumTags is the number of Tag values, for counter arrays.
+const NumTags = int(numTags)
+
+// Instr is one instruction. Uses and Defs follow the per-op conventions
+// documented on the Op constants. Pos is the instruction's position in the
+// linear (layout) order, assigned by Proc.Renumber; lifetime intervals and
+// holes are expressed in this position space.
+//
+// OrigUses/OrigDefs, when non-nil, run parallel to Uses/Defs and record
+// which temporary each rewritten operand originally named. Allocators set
+// them during rewriting; the verifier consumes them. Inserted spill code
+// leaves them nil.
+type Instr struct {
+	Op   Op
+	Defs []Operand
+	Uses []Operand
+	Tag  Tag
+	Pos  int32
+
+	OrigUses []Temp
+	OrigDefs []Temp
+}
+
+// NewInstr builds an instruction with the given defs and uses.
+func NewInstr(op Op, defs []Operand, uses []Operand) Instr {
+	return Instr{Op: op, Defs: defs, Uses: uses}
+}
+
+// UseTemps appends the temporaries read by the instruction to buf and
+// returns it.
+func (in *Instr) UseTemps(buf []Temp) []Temp {
+	for i := range in.Uses {
+		if in.Uses[i].Kind == KindTemp {
+			buf = append(buf, in.Uses[i].Temp)
+		}
+	}
+	return buf
+}
+
+// DefTemps appends the temporaries written by the instruction to buf and
+// returns it.
+func (in *Instr) DefTemps(buf []Temp) []Temp {
+	for i := range in.Defs {
+		if in.Defs[i].Kind == KindTemp {
+			buf = append(buf, in.Defs[i].Temp)
+		}
+	}
+	return buf
+}
+
+// UseRegs appends the physical registers explicitly read by the
+// instruction to buf and returns it.
+func (in *Instr) UseRegs(buf []target.Reg) []target.Reg {
+	for i := range in.Uses {
+		if in.Uses[i].Kind == KindReg {
+			buf = append(buf, in.Uses[i].Reg)
+		}
+	}
+	return buf
+}
+
+// DefRegs appends the physical registers explicitly written by the
+// instruction to buf and returns it.
+func (in *Instr) DefRegs(buf []target.Reg) []target.Reg {
+	for i := range in.Defs {
+		if in.Defs[i].Kind == KindReg {
+			buf = append(buf, in.Defs[i].Reg)
+		}
+	}
+	return buf
+}
+
+// IsCall reports whether the instruction is a call.
+func (in *Instr) IsCall() bool { return in.Op == Call }
+
+// CalleeName returns the symbol a call targets.
+func (in *Instr) CalleeName() string {
+	if in.Op != Call || len(in.Uses) == 0 || in.Uses[0].Kind != KindSym {
+		return ""
+	}
+	return in.Uses[0].Sym
+}

@@ -1,0 +1,138 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/target"
+)
+
+// Printer renders procedures and programs in a stable textual form. When
+// Mach is non-nil physical registers print with their machine names;
+// otherwise as R<n>.
+type Printer struct {
+	Mach *target.Machine
+	// Tags, when set, annotates allocator-inserted instructions with
+	// their spill classification.
+	Tags bool
+	// Positions, when set, prefixes instructions with their linear
+	// position.
+	Positions bool
+}
+
+// FormatOperand renders one operand of p.
+func (pr *Printer) FormatOperand(p *Proc, o Operand) string {
+	switch o.Kind {
+	case KindNone:
+		return "_"
+	case KindTemp:
+		return p.TempName(o.Temp)
+	case KindReg:
+		if pr.Mach != nil {
+			return "$" + pr.Mach.RegName(o.Reg)
+		}
+		return fmt.Sprintf("$R%d", o.Reg)
+	case KindImm:
+		return fmt.Sprintf("%d", o.Imm)
+	case KindFImm:
+		return fmt.Sprintf("%g", o.F)
+	case KindSlot:
+		return fmt.Sprintf("[slot%d:%s]", o.Imm, p.TempName(o.Temp))
+	case KindSym:
+		return "@" + o.Sym
+	}
+	return fmt.Sprintf("?kind%d", o.Kind)
+}
+
+// FormatInstr renders one instruction of p (without trailing newline).
+func (pr *Printer) FormatInstr(p *Proc, b *Block, in *Instr) string {
+	var sb strings.Builder
+	if pr.Positions {
+		fmt.Fprintf(&sb, "%4d: ", in.Pos)
+	}
+	switch in.Op {
+	case Jmp:
+		fmt.Fprintf(&sb, "jmp %s", b.Succs[0].Name)
+	case Br:
+		fmt.Fprintf(&sb, "br %s, %s, %s", pr.FormatOperand(p, in.Uses[0]), b.Succs[0].Name, b.Succs[1].Name)
+	case Ret:
+		sb.WriteString("ret")
+	case Call:
+		if len(in.Defs) > 0 {
+			fmt.Fprintf(&sb, "%s = ", pr.FormatOperand(p, in.Defs[0]))
+		}
+		sb.WriteString("call ")
+		sb.WriteString(pr.FormatOperand(p, in.Uses[0]))
+		sb.WriteByte('(')
+		for i, u := range in.Uses[1:] {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(pr.FormatOperand(p, u))
+		}
+		sb.WriteByte(')')
+	default:
+		for i, d := range in.Defs {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(pr.FormatOperand(p, d))
+		}
+		if len(in.Defs) > 0 {
+			sb.WriteString(" = ")
+		}
+		sb.WriteString(in.Op.String())
+		for i, u := range in.Uses {
+			if i == 0 {
+				sb.WriteByte(' ')
+			} else {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(pr.FormatOperand(p, u))
+		}
+	}
+	if pr.Tags && in.Tag != TagNone {
+		fmt.Fprintf(&sb, "  ; %s", in.Tag)
+	}
+	return sb.String()
+}
+
+// WriteProc renders the whole procedure.
+func (pr *Printer) WriteProc(w io.Writer, p *Proc) {
+	fmt.Fprintf(w, "func %s(", p.Name)
+	for i, t := range p.Params {
+		if i > 0 {
+			fmt.Fprint(w, ", ")
+		}
+		fmt.Fprintf(w, "%s %s", p.TempName(t), p.TempClass(t))
+	}
+	fmt.Fprintln(w, ") {")
+	for _, b := range p.Blocks {
+		if b.Depth > 0 {
+			fmt.Fprintf(w, "%s:  ; depth=%d\n", b.Name, b.Depth)
+		} else {
+			fmt.Fprintf(w, "%s:\n", b.Name)
+		}
+		for i := range b.Instrs {
+			fmt.Fprintf(w, "    %s\n", pr.FormatInstr(p, b, &b.Instrs[i]))
+		}
+	}
+	fmt.Fprintln(w, "}")
+}
+
+// ProcString renders p with default options.
+func ProcString(p *Proc) string {
+	var sb strings.Builder
+	(&Printer{}).WriteProc(&sb, p)
+	return sb.String()
+}
+
+// WriteProgram renders every procedure in the program.
+func (pr *Printer) WriteProgram(w io.Writer, prog *Program) {
+	fmt.Fprintf(w, "program mem=%d main=%s\n", prog.MemWords, prog.Main)
+	for _, p := range prog.Procs {
+		fmt.Fprintln(w)
+		pr.WriteProc(w, p)
+	}
+}

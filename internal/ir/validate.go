@@ -1,0 +1,264 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/target"
+)
+
+// Validate checks structural invariants of a procedure:
+//
+//   - every block ends with exactly one terminator and has none earlier;
+//   - successor/predecessor lists are mutually consistent and match the
+//     terminator's arity (Br: 2, Jmp: 1, Ret: 0);
+//   - operand counts and register files match each opcode's signature;
+//   - temporaries are in range;
+//   - physical registers are never live across block boundaries except
+//     for parameter registers into the entry block (the builder invariant
+//     the allocators rely on when modeling register lifetime holes).
+//
+// If mach is non-nil, register classes of physical operands are also
+// checked.
+//
+// The block-local-registers invariant holds only for pre-allocation IR
+// (allocated code keeps values in registers across blocks by design); use
+// ValidateAllocated for allocator output.
+func Validate(p *Proc, mach *target.Machine) error {
+	return validate(p, mach, true)
+}
+
+// ValidateAllocated checks the structural invariants that still hold
+// after register allocation (everything except register block-locality).
+func ValidateAllocated(p *Proc, mach *target.Machine) error {
+	return validate(p, mach, false)
+}
+
+func validate(p *Proc, mach *target.Machine, physLocal bool) error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("proc %s: no blocks", p.Name)
+	}
+	for _, b := range p.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("proc %s: block %s is empty", p.Name, b.Name)
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			isLast := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				if isLast {
+					return fmt.Errorf("proc %s: block %s does not end in a terminator", p.Name, b.Name)
+				}
+				return fmt.Errorf("proc %s: block %s has terminator %v mid-block", p.Name, b.Name, in.Op)
+			}
+			if err := checkInstr(p, mach, in); err != nil {
+				return fmt.Errorf("proc %s: block %s: %v: %v", p.Name, b.Name, in.Op, err)
+			}
+		}
+		wantSuccs := -1
+		switch b.Terminator().Op {
+		case Jmp:
+			wantSuccs = 1
+		case Br:
+			wantSuccs = 2
+		case Ret:
+			wantSuccs = 0
+		}
+		if wantSuccs >= 0 && len(b.Succs) != wantSuccs {
+			return fmt.Errorf("proc %s: block %s: terminator %v wants %d successors, has %d",
+				p.Name, b.Name, b.Terminator().Op, wantSuccs, len(b.Succs))
+		}
+		for _, s := range b.Succs {
+			if !blockHasPred(s, b) {
+				return fmt.Errorf("proc %s: edge %s->%s missing from %s.Preds", p.Name, b.Name, s.Name, s.Name)
+			}
+		}
+		for _, q := range b.Preds {
+			if !blockHasSucc(q, b) {
+				return fmt.Errorf("proc %s: pred edge %s->%s missing from %s.Succs", p.Name, q.Name, b.Name, q.Name)
+			}
+		}
+	}
+	if mach != nil && physLocal {
+		if err := checkPhysLiveness(p, mach); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func blockHasPred(b, q *Block) bool {
+	for _, x := range b.Preds {
+		if x == q {
+			return true
+		}
+	}
+	return false
+}
+
+func blockHasSucc(b, s *Block) bool {
+	for _, x := range b.Succs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func checkInstr(p *Proc, mach *target.Machine, in *Instr) error {
+	if in.Op >= numOps {
+		return fmt.Errorf("bad opcode %d", in.Op)
+	}
+	info := &opTable[in.Op]
+	if in.Op == Call {
+		if len(in.Uses) == 0 || in.Uses[0].Kind != KindSym {
+			return fmt.Errorf("call without symbol")
+		}
+		for _, u := range in.Uses[1:] {
+			if u.Kind != KindReg {
+				return fmt.Errorf("call argument operand must be a physical register")
+			}
+		}
+		if len(in.Defs) > 1 {
+			return fmt.Errorf("call with %d defs", len(in.Defs))
+		}
+		if len(in.Defs) == 1 && in.Defs[0].Kind != KindReg {
+			return fmt.Errorf("call result operand must be a physical register")
+		}
+		return nil
+	}
+	if info.uses != nil && len(in.Uses) != len(info.uses) {
+		return fmt.Errorf("want %d uses, have %d", len(info.uses), len(in.Uses))
+	}
+	if len(in.Defs) != len(info.defs) {
+		return fmt.Errorf("want %d defs, have %d", len(info.defs), len(in.Defs))
+	}
+	for i := range in.Uses {
+		var want target.Class = anyClass
+		if info.uses != nil {
+			want = info.uses[i]
+		}
+		immOK := info.immOK != nil && i < len(info.immOK) && info.immOK[i]
+		if err := checkOperand(p, mach, in.Uses[i], want, immOK, in.Op); err != nil {
+			return fmt.Errorf("use %d: %v", i, err)
+		}
+	}
+	for i := range in.Defs {
+		if in.Defs[i].Kind == KindImm || in.Defs[i].Kind == KindFImm {
+			return fmt.Errorf("def %d: immediate cannot be defined", i)
+		}
+		if err := checkOperand(p, mach, in.Defs[i], info.defs[i], false, in.Op); err != nil {
+			return fmt.Errorf("def %d: %v", i, err)
+		}
+	}
+	return nil
+}
+
+func checkOperand(p *Proc, mach *target.Machine, o Operand, want target.Class, immOK bool, op Op) error {
+	switch o.Kind {
+	case KindTemp:
+		if o.Temp < 0 || int(o.Temp) >= p.NumTemps() {
+			return fmt.Errorf("temp %d out of range", o.Temp)
+		}
+		if want != anyClass && p.TempClass(o.Temp) != want {
+			return fmt.Errorf("temp %s has class %v, want %v", p.TempName(o.Temp), p.TempClass(o.Temp), want)
+		}
+	case KindReg:
+		if mach != nil {
+			if int(o.Reg) < 0 || int(o.Reg) >= mach.NumRegs() {
+				return fmt.Errorf("register %d out of range", o.Reg)
+			}
+			if want != anyClass && mach.RegClass(o.Reg) != want {
+				return fmt.Errorf("register %s has class %v, want %v", mach.RegName(o.Reg), mach.RegClass(o.Reg), want)
+			}
+		}
+	case KindImm:
+		if op == Ldi || op == Ld || op == St || op == FLd || op == FSt {
+			return nil // displacement/immediate positions
+		}
+		if !immOK {
+			return fmt.Errorf("immediate not allowed here")
+		}
+	case KindFImm:
+		if op != FLdi && !immOK {
+			return fmt.Errorf("float immediate not allowed here")
+		}
+	case KindSlot:
+		if op != SpillLd && op != SpillSt {
+			return fmt.Errorf("slot operand outside spill code")
+		}
+		if o.Imm < 0 || int(o.Imm) >= p.NumSlots {
+			return fmt.Errorf("slot %d out of range [0,%d)", o.Imm, p.NumSlots)
+		}
+	case KindSym:
+		return fmt.Errorf("symbol operand outside call")
+	default:
+		return fmt.Errorf("bad operand kind %d", o.Kind)
+	}
+	return nil
+}
+
+// checkPhysLiveness verifies physical registers are block-local: a
+// backward scan per block must not leave any physical register live into
+// the block top, except parameter registers in the entry block.
+func checkPhysLiveness(p *Proc, mach *target.Machine) error {
+	paramOK := make(map[target.Reg]bool)
+	for c := target.Class(0); c < target.NumClasses; c++ {
+		for _, r := range mach.ParamRegs(c) {
+			paramOK[r] = true
+		}
+	}
+	var ubuf, dbuf []target.Reg
+	for _, b := range p.Blocks {
+		live := make(map[target.Reg]bool)
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := &b.Instrs[i]
+			dbuf = in.DefRegs(dbuf[:0])
+			for _, r := range dbuf {
+				delete(live, r)
+			}
+			ubuf = in.UseRegs(ubuf[:0])
+			for _, r := range ubuf {
+				live[r] = true
+			}
+		}
+		for r := range live {
+			if b == p.Entry() && paramOK[r] {
+				continue
+			}
+			return fmt.Errorf("proc %s: physical register %s live into block %s (must be block-local)",
+				p.Name, mach.RegName(r), b.Name)
+		}
+	}
+	return nil
+}
+
+// ValidateProgram validates every procedure and checks call targets that
+// refer to program procedures have matching arity (calls to unknown
+// symbols are treated as intrinsics and skipped).
+func ValidateProgram(prog *Program, mach *target.Machine) error {
+	if prog.Proc(prog.Main) == nil {
+		return fmt.Errorf("program: main procedure %q not found", prog.Main)
+	}
+	for _, p := range prog.Procs {
+		if err := Validate(p, mach); err != nil {
+			return err
+		}
+		for _, b := range p.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != Call {
+					continue
+				}
+				callee := prog.Proc(in.CalleeName())
+				if callee == nil {
+					continue // intrinsic
+				}
+				if got, want := len(in.Uses)-1, len(callee.Params); got != want {
+					return fmt.Errorf("proc %s: call to %s passes %d args, callee takes %d",
+						p.Name, callee.Name, got, want)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+// Package opt implements the optimization passes that bracket register
+// allocation in the paper's experimental pipeline (§3): dead-code
+// elimination before allocation, and a peephole pass afterwards that
+// deletes moves the allocators collapsed (both allocators rewrite
+// coalesced moves into self-moves and leave the deletion to this pass).
+// An optional store-to-load forwarding pass implements the local version
+// of the load/store sinking the paper sketches as follow-on work (§2.4).
+package opt
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+	"repro/internal/target"
+)
+
+// DeadCodeElim removes instructions whose results are never used: a def
+// of a temporary not live after the instruction, with no side effects.
+// Instructions defining physical registers, stores, calls and terminators
+// are always kept. Returns the number of instructions removed.
+func DeadCodeElim(p *ir.Proc) int {
+	removed := 0
+	for {
+		p.Renumber()
+		lv := dataflow.Compute(p)
+		n := removeDead(p, lv)
+		removed += n
+		if n == 0 {
+			return removed
+		}
+	}
+}
+
+func removeDead(p *ir.Proc, lv *dataflow.Liveness) int {
+	removed := 0
+	var dbuf []ir.Temp
+	live := make([]bool, p.NumTemps())
+	for _, b := range p.Blocks {
+		// Per-block backward liveness over all temps (locals included).
+		for i := range live {
+			live[i] = false
+		}
+		lv.LiveOut[b.Order].ForEach(func(gi int) { live[lv.Globals[gi]] = true })
+
+		keep := make([]bool, len(b.Instrs))
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := &b.Instrs[i]
+			keep[i] = true
+			if isRemovable(in) {
+				dbuf = in.DefTemps(dbuf[:0])
+				allDead := true
+				for _, d := range dbuf {
+					if live[d] {
+						allDead = false
+						break
+					}
+				}
+				if allDead && len(dbuf) > 0 {
+					keep[i] = false
+					removed++
+					continue // a dead instruction's uses do not count
+				}
+			}
+			for _, d := range in.DefTemps(dbuf[:0]) {
+				live[d] = false
+			}
+			for _, u := range in.UseTemps(dbuf[:0]) {
+				live[u] = true
+			}
+		}
+		if removed > 0 {
+			out := b.Instrs[:0]
+			for i := range b.Instrs {
+				if keep[i] {
+					out = append(out, b.Instrs[i])
+				}
+			}
+			b.Instrs = out
+		}
+	}
+	return removed
+}
+
+// isRemovable reports whether the instruction may be deleted when its
+// results are dead: pure value computations writing only temporaries.
+func isRemovable(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.St, ir.FSt, ir.SpillSt, ir.Call, ir.Jmp, ir.Br, ir.Ret, ir.Nop:
+		return false
+	}
+	for _, d := range in.Defs {
+		if d.Kind != ir.KindTemp {
+			return false // writes machine state
+		}
+	}
+	return len(in.Defs) == 1
+}
+
+// Peephole deletes self-moves (mov r, r) produced by move coalescing in
+// either allocator, and returns the number of instructions removed.
+func Peephole(p *ir.Proc) int {
+	removed := 0
+	for _, b := range p.Blocks {
+		out := b.Instrs[:0]
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op.IsMove() &&
+				in.Defs[0].Kind == ir.KindReg && in.Uses[0].Kind == ir.KindReg &&
+				in.Defs[0].Reg == in.Uses[0].Reg {
+				removed++
+				continue
+			}
+			out = append(out, b.Instrs[i])
+		}
+		b.Instrs = out
+	}
+	return removed
+}
+
+// ForwardStores performs local store-to-load forwarding on allocated
+// code: within a block, a spill load from a slot whose value is known to
+// be in a register (because a spill store from that register is still
+// valid) becomes a register move; a reload into the same register is
+// deleted outright. This is the local version of the post-allocation
+// cleanup the paper suggests ("a later code motion pass that tries to
+// sink stores and hoist loads until they meet", §2.4). Returns the number
+// of instructions rewritten or removed.
+func ForwardStores(p *ir.Proc, mach *target.Machine) int {
+	changed := 0
+	type slotVal struct {
+		reg ir.Operand
+		ok  bool
+	}
+	for _, b := range p.Blocks {
+		known := map[int64]slotVal{} // slot -> register holding its value
+		out := b.Instrs[:0]
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			switch {
+			case in.Op == ir.SpillSt && in.Uses[0].Kind == ir.KindReg:
+				known[in.Uses[1].Imm] = slotVal{reg: in.Uses[0], ok: true}
+			case in.Op == ir.SpillLd && in.Defs[0].Kind == ir.KindReg:
+				slot := in.Uses[0].Imm
+				if v, ok := known[slot]; ok && v.ok {
+					if v.reg.Reg == in.Defs[0].Reg {
+						changed++ // reload of a value already in place
+						continue
+					}
+					op := ir.Mov
+					if mach.RegClass(in.Defs[0].Reg) == target.ClassFloat {
+						op = ir.FMov
+					}
+					in = ir.Instr{Op: op, Tag: in.Tag, Pos: in.Pos,
+						Defs: in.Defs, Uses: []ir.Operand{v.reg},
+						OrigUses: in.OrigUses, OrigDefs: in.OrigDefs}
+					changed++
+				}
+				// The load wrote its destination register: slots
+				// mirrored there are stale, and the loaded register now
+				// mirrors this slot.
+				for s, v := range known {
+					if v.reg.Reg == in.Defs[0].Reg {
+						delete(known, s)
+					}
+				}
+				known[slot] = slotVal{reg: in.Defs[0], ok: true}
+			case in.Op == ir.Call:
+				// Calls clobber caller-saved registers; forget
+				// everything to stay conservative.
+				known = map[int64]slotVal{}
+			default:
+				// Any def of a register invalidates slots mirrored there.
+				for _, d := range in.Defs {
+					if d.Kind != ir.KindReg {
+						continue
+					}
+					for s, v := range known {
+						if v.reg.Reg == d.Reg {
+							delete(known, s)
+						}
+					}
+				}
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	return changed
+}

@@ -1,0 +1,145 @@
+package progs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+	"repro/internal/target"
+)
+
+// Module is a compile-time workload for Table 3: a set of procedures
+// characterized by their average number of register candidates.
+type Module struct {
+	Name string
+	// Procs are the procedures to allocate (one program, never run).
+	Prog *ir.Program
+	// AvgCandidates is the design target the generator aimed for.
+	AvgCandidates int
+}
+
+// Table3Modules returns synthetic stand-ins for the three modules of
+// Table 3: cvrin.c from espresso (≈245 candidates per procedure across
+// many small procedures), and twldrv.f / fpppp.f from fpppp (≈6218 and
+// ≈6697 candidates in enormous straight-line floating-point
+// procedures).
+func Table3Modules(mach *target.Machine) []*Module {
+	return []*Module{
+		BuildModule(mach, "cvrin.c", 8, 245, 1),
+		BuildModule(mach, "twldrv.f", 1, 6218, 2),
+		BuildModule(mach, "fpppp.f", 1, 6697, 3),
+	}
+}
+
+// BuildModule generates a module of nProcs procedures with roughly
+// candsPerProc register candidates each. Candidates are born in long
+// overlapping waves (window controls how many stay simultaneously live),
+// which is what drives interference-graph size for the coloring
+// allocator.
+func BuildModule(mach *target.Machine, name string, nProcs, candsPerProc, window int) *Module {
+	b := ir.NewBuilder(mach, 64)
+	rng := rand.New(rand.NewSource(int64(candsPerProc)*31 + int64(nProcs)))
+	for pi := 0; pi < nProcs; pi++ {
+		buildPressureProc(b, fmt.Sprintf("p%d", pi), rng, candsPerProc, window)
+	}
+	// An entry point so the program validates; compile-time experiments
+	// never execute it.
+	pb := b.NewProc("main")
+	z := pb.IntTemp("z")
+	pb.Ldi(z, 0)
+	pb.Ret(z)
+	return &Module{Name: name, Prog: b.Prog, AvgCandidates: candsPerProc}
+}
+
+// buildPressureProc emits one procedure with cands temporaries arranged
+// in overlapping waves: each wave of `window`×8 values is combined with
+// values from earlier waves, inside a couple of loops so lifetimes cross
+// block boundaries and loop depths vary.
+func buildPressureProc(b *ir.Builder, name string, rng *rand.Rand, cands, window int) {
+	pb := b.NewProc(name, target.ClassInt)
+	seedParam := pb.P.Params[0]
+
+	waveLen := window * 8
+	// Blocks: prologue, a loop head/body per 4 waves, epilogue.
+	var liveWindow []ir.Temp
+	var floats []ir.Temp
+	total := 0
+
+	sum := pb.IntTemp("acc")
+	pb.Mov(sum, ir.TempOp(seedParam))
+	fsum := pb.FloatTemp("facc")
+	pb.FLdi(fsum, 1.0)
+
+	loopCount := 0
+	for total < cands {
+		// Open a loop every few waves so loop depth matters.
+		var head, body, exit *ir.Block
+		inLoop := rng.Intn(3) == 0
+		var lc ir.Temp
+		if inLoop {
+			loopCount++
+			lc = pb.IntTemp(fmt.Sprintf("lc%d", loopCount))
+			pb.Ldi(lc, 0)
+			head = pb.Block("")
+			body = pb.Block("")
+			exit = pb.Block("")
+			pb.Jmp(head)
+			pb.StartBlock(head)
+			cc := pb.IntTemp("")
+			pb.Op2(ir.CmpLT, cc, ir.TempOp(lc), ir.ImmOp(2))
+			pb.Br(ir.TempOp(cc), body, exit)
+			pb.StartBlock(body)
+		}
+		// Emit one wave of new candidates.
+		for w := 0; w < waveLen && total < cands; w++ {
+			var t ir.Temp
+			if rng.Intn(3) == 0 {
+				t = pb.FloatTemp("")
+				if len(floats) > 0 && rng.Intn(2) == 0 {
+					o := floats[rng.Intn(len(floats))]
+					pb.Op2(ir.FAdd, t, ir.TempOp(o), ir.FImmOp(0.5))
+				} else {
+					pb.FLdi(t, float64(total%7)+0.25)
+				}
+				floats = append(floats, t)
+				if len(floats) > waveLen {
+					// Retire the oldest float into the accumulator.
+					old := floats[0]
+					floats = floats[1:]
+					pb.Op2(ir.FAdd, fsum, ir.TempOp(fsum), ir.TempOp(old))
+				}
+			} else {
+				t = pb.IntTemp("")
+				if len(liveWindow) > 0 && rng.Intn(2) == 0 {
+					o := liveWindow[rng.Intn(len(liveWindow))]
+					pb.Op2(ir.Add, t, ir.TempOp(o), ir.ImmOp(int64(total)))
+				} else {
+					pb.Ldi(t, int64(total*7+1))
+				}
+				liveWindow = append(liveWindow, t)
+				if len(liveWindow) > waveLen {
+					old := liveWindow[0]
+					liveWindow = liveWindow[1:]
+					pb.Op2(ir.Xor, sum, ir.TempOp(sum), ir.TempOp(old))
+				}
+			}
+			total++
+		}
+		if inLoop {
+			pb.Op2(ir.Add, lc, ir.TempOp(lc), ir.ImmOp(1))
+			pb.Jmp(head)
+			pb.StartBlock(exit)
+		}
+	}
+	// Retire everything still live.
+	for _, t := range liveWindow {
+		pb.Op2(ir.Xor, sum, ir.TempOp(sum), ir.TempOp(t))
+	}
+	for _, t := range floats {
+		pb.Op2(ir.FAdd, fsum, ir.TempOp(fsum), ir.TempOp(t))
+	}
+	fi := pb.IntTemp("")
+	pb.Op1(ir.CvtFI, fi, ir.TempOp(fsum))
+	pb.Op2(ir.Add, sum, ir.TempOp(sum), ir.TempOp(fi))
+	pb.Ret(sum)
+}

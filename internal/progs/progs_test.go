@@ -1,0 +1,129 @@
+package progs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/target"
+	"repro/internal/vm"
+)
+
+func TestSuiteBuildsAndRuns(t *testing.T) {
+	mach := target.Alpha()
+	for _, bench := range Suite() {
+		t.Run(bench.Name, func(t *testing.T) {
+			prog := bench.Build(mach, 1)
+			if err := ir.ValidateProgram(prog, mach); err != nil {
+				t.Fatalf("invalid: %v", err)
+			}
+			var input []byte
+			if bench.Input != nil {
+				input = bench.Input(1)
+			}
+			res, err := vm.Run(prog, vm.Config{Mach: mach, Input: input})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Counters.Total == 0 {
+				t.Fatal("no instructions executed")
+			}
+			if len(res.Output) == 0 {
+				t.Fatal("no output produced: benchmark results would be unobservable")
+			}
+		})
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	mach := target.Alpha()
+	for _, bench := range Suite() {
+		prog1 := bench.Build(mach, 2)
+		prog2 := bench.Build(mach, 2)
+		var input []byte
+		if bench.Input != nil {
+			input = bench.Input(2)
+		}
+		r1, err1 := vm.Run(prog1, vm.Config{Mach: mach, Input: input})
+		r2, err2 := vm.Run(prog2, vm.Config{Mach: mach, Input: input})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v / %v", bench.Name, err1, err2)
+		}
+		if !bytes.Equal(r1.Output, r2.Output) || r1.RetValue != r2.RetValue {
+			t.Fatalf("%s not deterministic", bench.Name)
+		}
+	}
+}
+
+func TestSuiteScales(t *testing.T) {
+	mach := target.Alpha()
+	b := Named("eqntott")
+	small := b.Build(mach, 1)
+	big := b.Build(mach, 4)
+	rs, _ := vm.Run(small, vm.Config{Mach: mach})
+	rb2, _ := vm.Run(big, vm.Config{Mach: mach})
+	if rb2.Counters.Total <= rs.Counters.Total {
+		t.Fatal("scale does not grow the workload")
+	}
+}
+
+func TestNamed(t *testing.T) {
+	if Named("wc") == nil || Named("fpppp") == nil {
+		t.Fatal("Named lookup broken")
+	}
+	if Named("nosuch") != nil {
+		t.Fatal("Named returned a benchmark for a bogus name")
+	}
+	if len(Suite()) != 11 {
+		t.Fatalf("suite has %d benchmarks, want 11 (Table 1)", len(Suite()))
+	}
+}
+
+func TestRandomProgramsValidAndDeterministic(t *testing.T) {
+	for _, m := range []*target.Machine{target.Alpha(), target.Tiny(6, 4)} {
+		for seed := int64(0); seed < 12; seed++ {
+			cfg := DefaultGen(seed)
+			p1 := Random(m, cfg)
+			if err := ir.ValidateProgram(p1, m); err != nil {
+				t.Fatalf("seed %d on %s: %v", seed, m.Name, err)
+			}
+			p2 := Random(m, cfg)
+			in := []byte("determinism-check")
+			r1, err1 := vm.Run(p1, vm.Config{Mach: m, Input: in})
+			r2, err2 := vm.Run(p2, vm.Config{Mach: m, Input: in})
+			if err1 != nil || err2 != nil {
+				t.Fatalf("seed %d: %v / %v", seed, err1, err2)
+			}
+			if !bytes.Equal(r1.Output, r2.Output) {
+				t.Fatalf("seed %d not deterministic", seed)
+			}
+		}
+	}
+}
+
+func TestTable3ModulesShape(t *testing.T) {
+	mach := target.Alpha()
+	mods := Table3Modules(mach)
+	if len(mods) != 3 {
+		t.Fatalf("%d modules", len(mods))
+	}
+	for _, mod := range mods {
+		if err := ir.ValidateProgram(mod.Prog, mach); err != nil {
+			t.Fatalf("%s: %v", mod.Name, err)
+		}
+		nprocs, total := 0, 0
+		for _, p := range mod.Prog.Procs {
+			if p.Name == "main" {
+				continue
+			}
+			nprocs++
+			total += p.NumTemps()
+		}
+		avg := total / nprocs
+		// Within 25% of the design target.
+		lo, hi := mod.AvgCandidates*3/4, mod.AvgCandidates*5/4
+		if avg < lo || avg > hi {
+			t.Fatalf("%s: avg candidates %d outside [%d,%d]", mod.Name, avg, lo, hi)
+		}
+	}
+}

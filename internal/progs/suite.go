@@ -1,0 +1,1174 @@
+package progs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+	"repro/internal/target"
+)
+
+// Benchmark is one entry of the experimental suite. Build constructs the
+// program for a machine at a scale factor (1 = the default used by the
+// experiment tables; tests use smaller scales). Input produces the byte
+// stream consumed via the getc intrinsic, when the workload reads input.
+type Benchmark struct {
+	Name string
+	// Desc summarizes what property of the paper's benchmark the
+	// synthetic workload reproduces.
+	Desc         string
+	Build        func(mach *target.Machine, scale int) *ir.Program
+	Input        func(scale int) []byte
+	DefaultScale int
+	// SpillFree marks benchmarks the paper reports as having no spill
+	// code under either allocator (Table 2).
+	SpillFree bool
+}
+
+// Suite returns the eleven benchmarks in Table 1 order: alvinn, doduc,
+// eqntott, espresso, fpppp, li, tomcatv, compress, m88ksim, sort, wc.
+func Suite() []*Benchmark {
+	return []*Benchmark{
+		{Name: "alvinn", Desc: "neural-net training: FP dot products in tight loops, low pressure",
+			Build: BuildAlvinn, DefaultScale: 60, SpillFree: true},
+		{Name: "doduc", Desc: "Monte-Carlo reactor kernel: branchy FP with many medium lifetimes and calls",
+			Build: BuildDoduc, DefaultScale: 40},
+		{Name: "eqntott", Desc: "PLA minimization dominated by cmppt(): tiny hot compare loop",
+			Build: BuildEqntott, DefaultScale: 120},
+		{Name: "espresso", Desc: "two-level logic minimizer: bit-twiddling over cube arrays, branchy integer code",
+			Build: BuildEspresso, DefaultScale: 50},
+		{Name: "fpppp", Desc: "two-electron integrals: enormous straight-line FP blocks, extreme pressure",
+			Build: BuildFpppp, DefaultScale: 30},
+		{Name: "li", Desc: "lisp interpreter: call-heavy list walking and dispatch",
+			Build: BuildLi, DefaultScale: 40, SpillFree: true},
+		{Name: "tomcatv", Desc: "mesh generation: FP stencil over 2-D grids in nested loops",
+			Build: BuildTomcatv, DefaultScale: 20, SpillFree: true},
+		{Name: "compress", Desc: "LZW compression: hash-table loop over input bytes",
+			Build: BuildCompress, Input: textInput, DefaultScale: 60, SpillFree: true},
+		{Name: "m88ksim", Desc: "CPU simulator: fetch/decode/execute dispatch loop",
+			Build: BuildM88ksim, DefaultScale: 60},
+		{Name: "sort", Desc: "UNIX sort: comparison sorting with a partition inner loop",
+			Build: BuildSort, DefaultScale: 25},
+		{Name: "wc", Desc: "word count: getc loop with many values live across the I/O call",
+			Build: BuildWC, Input: textInput, DefaultScale: 60, SpillFree: true},
+	}
+}
+
+// Named returns the benchmark with the given name, or nil.
+func Named(name string) *Benchmark {
+	for _, b := range Suite() {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// textInput synthesizes deterministic "prose" for the byte-consuming
+// benchmarks.
+func textInput(scale int) []byte {
+	rng := rand.New(rand.NewSource(7))
+	n := 64 * scale
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		wl := 1 + rng.Intn(9)
+		for i := 0; i < wl; i++ {
+			out = append(out, byte('a'+rng.Intn(26)))
+		}
+		switch rng.Intn(8) {
+		case 0:
+			out = append(out, '\n')
+		default:
+			out = append(out, ' ')
+		}
+	}
+	return out[:n]
+}
+
+// --- alvinn ---------------------------------------------------------------
+
+// BuildAlvinn models back-propagation training: repeated dot products of
+// a weight row against an input activation vector, with a weight update.
+// Few FP temporaries are simultaneously live, so no allocator spills.
+func BuildAlvinn(mach *target.Machine, scale int) *ir.Program {
+	const inputs = 32
+	weightsAt, actsAt := int64(0), int64(inputs)
+	b := ir.NewBuilder(mach, 2*inputs+8)
+	for i := 0; i < inputs; i++ {
+		b.Prog.SetMemF(i, 0.01*float64(i%13)+0.1)
+		b.Prog.SetMemF(inputs+i, 0.05*float64(i%7)+0.2)
+	}
+	pb := b.NewProc("main")
+
+	epochs := pb.IntTemp("epochs")
+	pb.Ldi(epochs, int64(scale))
+	e := pb.IntTemp("e")
+	pb.Ldi(e, 0)
+	acc := pb.FloatTemp("acc")
+	pb.FLdi(acc, 0)
+
+	eHead := pb.Block("epoch_head")
+	eBody := pb.Block("epoch_body")
+	iHead := pb.Block("dot_head")
+	iBody := pb.Block("dot_body")
+	iDone := pb.Block("dot_done")
+	done := pb.Block("done")
+
+	pb.Jmp(eHead)
+	pb.StartBlock(eHead)
+	c := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, c, ir.TempOp(e), ir.TempOp(epochs))
+	pb.Br(ir.TempOp(c), eBody, done)
+
+	pb.StartBlock(eBody)
+	i := pb.IntTemp("i")
+	sum := pb.FloatTemp("sum")
+	pb.Ldi(i, 0)
+	pb.FLdi(sum, 0)
+	pb.Jmp(iHead)
+
+	pb.StartBlock(iHead)
+	ci := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, ci, ir.TempOp(i), ir.ImmOp(inputs))
+	pb.Br(ir.TempOp(ci), iBody, iDone)
+
+	pb.StartBlock(iBody)
+	w := pb.FloatTemp("w")
+	a := pb.FloatTemp("a")
+	prod := pb.FloatTemp("prod")
+	pb.FLd(w, ir.TempOp(i), weightsAt)
+	pb.FLd(a, ir.TempOp(i), actsAt)
+	pb.Op2(ir.FMul, prod, ir.TempOp(w), ir.TempOp(a))
+	pb.Op2(ir.FAdd, sum, ir.TempOp(sum), ir.TempOp(prod))
+	// Weight update: w += 0.001 * a (back-propagation step).
+	delta := pb.FloatTemp("delta")
+	pb.Op2(ir.FMul, delta, ir.TempOp(a), ir.FImmOp(0.001))
+	pb.Op2(ir.FAdd, w, ir.TempOp(w), ir.TempOp(delta))
+	pb.FSt(ir.TempOp(w), ir.TempOp(i), weightsAt)
+	pb.Op2(ir.Add, i, ir.TempOp(i), ir.ImmOp(1))
+	pb.Jmp(iHead)
+
+	pb.StartBlock(iDone)
+	pb.Op2(ir.FAdd, acc, ir.TempOp(acc), ir.TempOp(sum))
+	pb.Op2(ir.Add, e, ir.TempOp(e), ir.ImmOp(1))
+	pb.Jmp(eHead)
+
+	pb.StartBlock(done)
+	pb.Call("putf", ir.NoTemp, ir.TempOp(acc))
+	ret := pb.IntTemp("ret")
+	pb.Op1(ir.CvtFI, ret, ir.TempOp(acc))
+	pb.Ret(ret)
+	return b.Prog
+}
+
+// --- doduc -----------------------------------------------------------------
+
+// BuildDoduc models the Monte-Carlo kernel: a loop with a pseudo-random
+// draw, a branchy region with a dozen live FP quantities, and square-root
+// calls — enough medium-length lifetimes that both allocators spill a
+// little.
+func BuildDoduc(mach *target.Machine, scale int) *ir.Program {
+	b := ir.NewBuilder(mach, 64)
+	pb := b.NewProc("main")
+
+	const nq = 8
+	qs := make([]ir.Temp, nq)
+	for i := range qs {
+		qs[i] = pb.FloatTemp(fmt.Sprintf("q%d", i))
+		pb.FLdi(qs[i], 1.0+float64(i)*0.25)
+	}
+	seed := pb.IntTemp("seed")
+	pb.Ldi(seed, 12345)
+	n := pb.IntTemp("n")
+	pb.Ldi(n, int64(scale*8))
+	i := pb.IntTemp("i")
+	pb.Ldi(i, 0)
+
+	head := pb.Block("head")
+	body := pb.Block("body")
+	hot := pb.Block("hot")
+	cold := pb.Block("cold")
+	join := pb.Block("join")
+	done := pb.Block("done")
+
+	pb.Jmp(head)
+	pb.StartBlock(head)
+	c := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, c, ir.TempOp(i), ir.TempOp(n))
+	pb.Br(ir.TempOp(c), body, done)
+
+	pb.StartBlock(body)
+	// Linear congruential draw.
+	pb.Op2(ir.Mul, seed, ir.TempOp(seed), ir.ImmOp(1103515245))
+	pb.Op2(ir.Add, seed, ir.TempOp(seed), ir.ImmOp(12345))
+	pb.Op2(ir.And, seed, ir.TempOp(seed), ir.ImmOp(0x7fffffff))
+	bit := pb.IntTemp("bit")
+	pb.Op2(ir.And, bit, ir.TempOp(seed), ir.ImmOp(1))
+	pb.Br(ir.TempOp(bit), hot, cold)
+
+	rare := pb.Block("rare")
+	pb.StartBlock(hot)
+	// Neutron collision: recombine all quantities pairwise.
+	for k := 0; k+1 < nq; k += 2 {
+		t := pb.FloatTemp("")
+		pb.Op2(ir.FMul, t, ir.TempOp(qs[k]), ir.TempOp(qs[k+1]))
+		pb.Op2(ir.FAdd, qs[k], ir.TempOp(qs[k]), ir.TempOp(t))
+		pb.Op2(ir.FMul, qs[k], ir.TempOp(qs[k]), ir.FImmOp(0.75))
+	}
+	// A square-root boundary crossing on a small fraction of the
+	// iterations, so only light spill traffic arises around the call
+	// (the paper reports ≈0.5% spill overhead for doduc).
+	rareBit := pb.IntTemp("")
+	pb.Op2(ir.And, rareBit, ir.TempOp(seed), ir.ImmOp(7))
+	pb.Op2(ir.CmpEQ, rareBit, ir.TempOp(rareBit), ir.ImmOp(0))
+	pb.Br(ir.TempOp(rareBit), rare, join)
+
+	pb.StartBlock(rare)
+	sq := pb.FloatTemp("sq")
+	arg := pb.FloatTemp("")
+	pb.Op2(ir.FMul, arg, ir.TempOp(qs[0]), ir.TempOp(qs[0]))
+	pb.Call("fsqrt", sq, ir.TempOp(arg))
+	pb.Op2(ir.FAdd, qs[1], ir.TempOp(qs[1]), ir.TempOp(sq))
+	pb.Jmp(join)
+
+	pb.StartBlock(cold)
+	for k := 1; k+1 < nq; k += 2 {
+		t := pb.FloatTemp("")
+		pb.Op2(ir.FSub, t, ir.TempOp(qs[k]), ir.TempOp(qs[k+1]))
+		pb.Op2(ir.FMul, qs[k], ir.TempOp(t), ir.FImmOp(0.5))
+		pb.Op2(ir.FAdd, qs[k], ir.TempOp(qs[k]), ir.FImmOp(1.0))
+	}
+	pb.Jmp(join)
+
+	pb.StartBlock(join)
+	// Damp everything so values stay finite.
+	for k := 0; k < nq; k++ {
+		pb.Op2(ir.FMul, qs[k], ir.TempOp(qs[k]), ir.FImmOp(0.9))
+		pb.Op2(ir.FAdd, qs[k], ir.TempOp(qs[k]), ir.FImmOp(0.125))
+	}
+	pb.Op2(ir.Add, i, ir.TempOp(i), ir.ImmOp(1))
+	pb.Jmp(head)
+
+	pb.StartBlock(done)
+	total := pb.FloatTemp("total")
+	pb.FLdi(total, 0)
+	for k := 0; k < nq; k++ {
+		pb.Op2(ir.FAdd, total, ir.TempOp(total), ir.TempOp(qs[k]))
+	}
+	pb.Call("putf", ir.NoTemp, ir.TempOp(total))
+	ret := pb.IntTemp("ret")
+	pb.Op1(ir.CvtFI, ret, ir.TempOp(total))
+	pb.Ret(ret)
+	return b.Prog
+}
+
+// --- eqntott ---------------------------------------------------------------
+
+// BuildEqntott models cmppt(): virtually all time in one tiny compare
+// loop over two arrays, with very few temporaries — the workload where
+// every allocator, including two-pass binpacking, performs identically.
+func BuildEqntott(mach *target.Machine, scale int) *ir.Program {
+	const width = 64
+	b := ir.NewBuilder(mach, 2*width)
+	for i := 0; i < width; i++ {
+		b.Prog.SetMem(i, int64((i*7)%5))
+		b.Prog.SetMem(width+i, int64((i*7+i/9)%5))
+	}
+	pb := b.NewProc("main")
+
+	reps := pb.IntTemp("reps")
+	pb.Ldi(reps, int64(scale*4))
+	r := pb.IntTemp("r")
+	pb.Ldi(r, 0)
+	result := pb.IntTemp("result")
+	pb.Ldi(result, 0)
+
+	rHead := pb.Block("rep_head")
+	rBody := pb.Block("rep_body")
+	cHead := pb.Block("cmp_head")
+	cBody := pb.Block("cmp_body")
+	neq := pb.Block("neq")
+	cNext := pb.Block("cmp_next")
+	cDone := pb.Block("cmp_done")
+	done := pb.Block("done")
+
+	pb.Jmp(rHead)
+	pb.StartBlock(rHead)
+	c := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, c, ir.TempOp(r), ir.TempOp(reps))
+	pb.Br(ir.TempOp(c), rBody, done)
+
+	pb.StartBlock(rBody)
+	i := pb.IntTemp("i")
+	diff := pb.IntTemp("diff")
+	pb.Ldi(i, 0)
+	pb.Ldi(diff, 0)
+	pb.Jmp(cHead)
+
+	pb.StartBlock(cHead)
+	ci := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, ci, ir.TempOp(i), ir.ImmOp(width))
+	pb.Br(ir.TempOp(ci), cBody, cDone)
+
+	pb.StartBlock(cBody)
+	a := pb.IntTemp("a")
+	bb := pb.IntTemp("b")
+	pb.Ld(a, ir.TempOp(i), 0)
+	pb.Ld(bb, ir.TempOp(i), width)
+	ne := pb.IntTemp("")
+	pb.Op2(ir.CmpNE, ne, ir.TempOp(a), ir.TempOp(bb))
+	pb.Br(ir.TempOp(ne), neq, cNext)
+
+	pb.StartBlock(neq)
+	d := pb.IntTemp("")
+	pb.Op2(ir.Sub, d, ir.TempOp(a), ir.TempOp(bb))
+	pb.Op2(ir.Add, diff, ir.TempOp(diff), ir.TempOp(d))
+	pb.Jmp(cNext)
+
+	pb.StartBlock(cNext)
+	pb.Op2(ir.Add, i, ir.TempOp(i), ir.ImmOp(1))
+	pb.Jmp(cHead)
+
+	pb.StartBlock(cDone)
+	pb.Op2(ir.Xor, result, ir.TempOp(result), ir.TempOp(diff))
+	pb.Op2(ir.Add, r, ir.TempOp(r), ir.ImmOp(1))
+	pb.Jmp(rHead)
+
+	pb.StartBlock(done)
+	pb.Call("puti", ir.NoTemp, ir.TempOp(result))
+	pb.Ret(result)
+	return b.Prog
+}
+
+// --- espresso ---------------------------------------------------------------
+
+// BuildEspresso models cube-cover manipulation: integer bit tricks over
+// an array with data-dependent branches; enough short integer lifetimes
+// that binpacking emits a little resolution code.
+func BuildEspresso(mach *target.Machine, scale int) *ir.Program {
+	const cubes = 48
+	b := ir.NewBuilder(mach, cubes+8)
+	for i := 0; i < cubes; i++ {
+		b.Prog.SetMem(i, int64(i*2654435761)%1048573)
+	}
+	pb := b.NewProc("main")
+
+	passes := pb.IntTemp("passes")
+	pb.Ldi(passes, int64(scale))
+	p := pb.IntTemp("p")
+	pb.Ldi(p, 0)
+	cover := pb.IntTemp("cover")
+	pb.Ldi(cover, 0)
+	ones := pb.IntTemp("ones")
+	pb.Ldi(ones, 0)
+
+	pHead := pb.Block("pass_head")
+	pBody := pb.Block("pass_body")
+	iHead := pb.Block("cube_head")
+	iBody := pb.Block("cube_body")
+	sparse := pb.Block("sparse")
+	dense := pb.Block("dense")
+	iNext := pb.Block("cube_next")
+	iDone := pb.Block("cube_done")
+	done := pb.Block("done")
+
+	pb.Jmp(pHead)
+	pb.StartBlock(pHead)
+	c := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, c, ir.TempOp(p), ir.TempOp(passes))
+	pb.Br(ir.TempOp(c), pBody, done)
+
+	pb.StartBlock(pBody)
+	i := pb.IntTemp("i")
+	pb.Ldi(i, 0)
+	pb.Jmp(iHead)
+
+	pb.StartBlock(iHead)
+	ci := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, ci, ir.TempOp(i), ir.ImmOp(cubes))
+	pb.Br(ir.TempOp(ci), iBody, iDone)
+
+	pb.StartBlock(iBody)
+	cube := pb.IntTemp("cube")
+	pb.Ld(cube, ir.TempOp(i), 0)
+	// Population-count-flavoured bit mangling.
+	t1 := pb.IntTemp("t1")
+	t2 := pb.IntTemp("t2")
+	t3 := pb.IntTemp("t3")
+	pb.Op2(ir.Shr, t1, ir.TempOp(cube), ir.ImmOp(1))
+	pb.Op2(ir.And, t1, ir.TempOp(t1), ir.ImmOp(0x55555555))
+	pb.Op2(ir.Sub, t2, ir.TempOp(cube), ir.TempOp(t1))
+	pb.Op2(ir.And, t3, ir.TempOp(t2), ir.ImmOp(0x33333333))
+	pb.Op2(ir.Shr, t2, ir.TempOp(t2), ir.ImmOp(2))
+	pb.Op2(ir.And, t2, ir.TempOp(t2), ir.ImmOp(0x33333333))
+	pb.Op2(ir.Add, t3, ir.TempOp(t3), ir.TempOp(t2))
+	pb.Op2(ir.And, t3, ir.TempOp(t3), ir.ImmOp(63))
+	low := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, low, ir.TempOp(t3), ir.ImmOp(8))
+	pb.Br(ir.TempOp(low), sparse, dense)
+
+	pb.StartBlock(sparse)
+	pb.Op2(ir.Or, cover, ir.TempOp(cover), ir.TempOp(cube))
+	pb.Op2(ir.Add, ones, ir.TempOp(ones), ir.TempOp(t3))
+	pb.Jmp(iNext)
+
+	pb.StartBlock(dense)
+	inv := pb.IntTemp("inv")
+	pb.Op1(ir.Not, inv, ir.TempOp(cube))
+	pb.Op2(ir.And, inv, ir.TempOp(inv), ir.ImmOp(0xffffff))
+	pb.Op2(ir.Xor, cover, ir.TempOp(cover), ir.TempOp(inv))
+	pb.St(ir.TempOp(inv), ir.TempOp(i), 0)
+	pb.Jmp(iNext)
+
+	pb.StartBlock(iNext)
+	pb.Op2(ir.Add, i, ir.TempOp(i), ir.ImmOp(1))
+	pb.Jmp(iHead)
+
+	pb.StartBlock(iDone)
+	pb.Op2(ir.Add, p, ir.TempOp(p), ir.ImmOp(1))
+	pb.Jmp(pHead)
+
+	pb.StartBlock(done)
+	pb.Op2(ir.Xor, cover, ir.TempOp(cover), ir.TempOp(ones))
+	pb.Call("puti", ir.NoTemp, ir.TempOp(cover))
+	pb.Ret(cover)
+	return b.Prog
+}
+
+// --- fpppp -----------------------------------------------------------------
+
+// BuildFpppp models the two-electron integral kernel: enormous
+// straight-line floating-point blocks where dozens of values are live at
+// once — far beyond the register file — so both allocators insert a lot
+// of spill code (the paper reports 18.6%/13.4% dynamic spill overhead).
+// The block is generated pseudo-randomly but deterministically.
+func BuildFpppp(mach *target.Machine, scale int) *ir.Program {
+	const vals = 56 // simultaneously-live values in the big block
+	b := ir.NewBuilder(mach, vals+8)
+	for i := 0; i < vals; i++ {
+		b.Prog.SetMemF(i, 0.5+float64(i%17)*0.125)
+	}
+	pb := b.NewProc("main")
+	rng := rand.New(rand.NewSource(99))
+
+	n := pb.IntTemp("n")
+	pb.Ldi(n, int64(scale))
+	it := pb.IntTemp("it")
+	pb.Ldi(it, 0)
+	acc := pb.FloatTemp("acc")
+	pb.FLdi(acc, 0)
+
+	head := pb.Block("head")
+	body := pb.Block("body")
+	done := pb.Block("done")
+
+	pb.Jmp(head)
+	pb.StartBlock(head)
+	c := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, c, ir.TempOp(it), ir.TempOp(n))
+	pb.Br(ir.TempOp(c), body, done)
+
+	pb.StartBlock(body)
+	// Load the full window: everything live from here on.
+	ts := make([]ir.Temp, vals)
+	for i := range ts {
+		ts[i] = pb.FloatTemp(fmt.Sprintf("v%d", i))
+		pb.FLd(ts[i], ir.ImmOp(int64(i)), 0)
+	}
+	// A long chain of combinations. References favor a sliding recency
+	// window (as the real integral kernels do) with occasional reaches
+	// across the whole value set, so whole-lifetime spills of rarely
+	// touched values stay comparatively cheap for the coloring
+	// allocator while everything remains live to the final fold.
+	// The chain is broken by data-dependent diamonds every few dozen
+	// statements (the real kernels are sequences of large blocks with
+	// branches between them). The branches are where the linear
+	// allocator pays: with much of the window spilled, every diamond
+	// edge needs resolution code, while coloring's whole-lifetime
+	// assignment needs none — the paper's Figure 3 attributes
+	// binpacking's extra fpppp spill largely to resolution and eviction
+	// stores.
+	ops := []ir.Op{ir.FAdd, ir.FSub, ir.FMul}
+	pick := func(s int) ir.Temp {
+		if rng.Intn(10) < 7 {
+			lo := s % vals
+			return ts[(lo+rng.Intn(12))%vals]
+		}
+		return ts[rng.Intn(vals)]
+	}
+	cond := pb.IntTemp("cond")
+	pb.Op2(ir.And, cond, ir.TempOp(it), ir.ImmOp(1))
+	for s := 0; s < vals*3; s++ {
+		dst := pick(s)
+		a := pick(s)
+		bo := pick(s)
+		pb.Op2(ops[rng.Intn(len(ops))], dst, ir.TempOp(a), ir.TempOp(bo))
+		pb.Op2(ir.FMul, dst, ir.TempOp(dst), ir.FImmOp(0.5))
+		if s%28 == 27 {
+			thenB := pb.Block("")
+			elseB := pb.Block("")
+			joinB := pb.Block("")
+			pb.Br(ir.TempOp(cond), thenB, elseB)
+			pb.StartBlock(thenB)
+			x := pick(s)
+			pb.Op2(ir.FAdd, x, ir.TempOp(x), ir.FImmOp(0.25))
+			pb.Jmp(joinB)
+			pb.StartBlock(elseB)
+			y := pick(s + 1)
+			pb.Op2(ir.FMul, y, ir.TempOp(y), ir.FImmOp(0.75))
+			pb.Jmp(joinB)
+			pb.StartBlock(joinB)
+		}
+	}
+	// Fold the window into the accumulator and store a few results back.
+	for i := 0; i < vals; i++ {
+		pb.Op2(ir.FAdd, acc, ir.TempOp(acc), ir.TempOp(ts[i]))
+	}
+	for i := 0; i < 8; i++ {
+		pb.FSt(ir.TempOp(ts[i*3%vals]), ir.ImmOp(int64(i)), 0)
+	}
+	pb.Op2(ir.FMul, acc, ir.TempOp(acc), ir.FImmOp(0.001))
+	pb.Op2(ir.Add, it, ir.TempOp(it), ir.ImmOp(1))
+	pb.Jmp(head)
+
+	pb.StartBlock(done)
+	pb.Call("putf", ir.NoTemp, ir.TempOp(acc))
+	ret := pb.IntTemp("ret")
+	pb.Op1(ir.CvtFI, ret, ir.TempOp(acc))
+	pb.Ret(ret)
+	return b.Prog
+}
+
+// --- li ---------------------------------------------------------------------
+
+// BuildLi models the Xlisp interpreter: cons-cell list walking with
+// per-node dispatch through helper procedures — call-dominated code with
+// short lifetimes, where move coalescing on parameter registers matters.
+func BuildLi(mach *target.Machine, scale int) *ir.Program {
+	const cells = 64 // cons cells: mem[2i]=car, mem[2i+1]=cdr index
+	b := ir.NewBuilder(mach, 2*cells+8)
+	for i := 0; i < cells; i++ {
+		b.Prog.SetMem(2*i, int64((i*31)%97))
+		b.Prog.SetMem(2*i+1, int64((i+1)%cells))
+	}
+
+	// eval(car, depth): a small pure dispatcher.
+	{
+		pb := b.NewProc("eval", target.ClassInt, target.ClassInt)
+		car, depth := pb.P.Params[0], pb.P.Params[1]
+		odd := pb.Block("odd")
+		even := pb.Block("even")
+		r := pb.IntTemp("r")
+
+		bit := pb.IntTemp("bit")
+		pb.Op2(ir.And, bit, ir.TempOp(car), ir.ImmOp(1))
+		pb.Br(ir.TempOp(bit), odd, even)
+
+		pb.StartBlock(odd)
+		pb.Op2(ir.Mul, r, ir.TempOp(car), ir.ImmOp(3))
+		pb.Op2(ir.Add, r, ir.TempOp(r), ir.TempOp(depth))
+		pb.Ret(r)
+
+		pb.StartBlock(even)
+		pb.Op2(ir.Shr, r, ir.TempOp(car), ir.ImmOp(1))
+		pb.Op2(ir.Xor, r, ir.TempOp(r), ir.TempOp(depth))
+		pb.Ret(r)
+	}
+
+	pb := b.NewProc("main")
+	rounds := pb.IntTemp("rounds")
+	pb.Ldi(rounds, int64(scale))
+	rd := pb.IntTemp("rd")
+	pb.Ldi(rd, 0)
+	total := pb.IntTemp("total")
+	pb.Ldi(total, 0)
+
+	rHead := pb.Block("round_head")
+	rBody := pb.Block("round_body")
+	wHead := pb.Block("walk_head")
+	wBody := pb.Block("walk_body")
+	wDone := pb.Block("walk_done")
+	done := pb.Block("done")
+
+	pb.Jmp(rHead)
+	pb.StartBlock(rHead)
+	c := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, c, ir.TempOp(rd), ir.TempOp(rounds))
+	pb.Br(ir.TempOp(c), rBody, done)
+
+	pb.StartBlock(rBody)
+	node := pb.IntTemp("node")
+	steps := pb.IntTemp("steps")
+	pb.Op2(ir.Rem, node, ir.TempOp(rd), ir.ImmOp(cells))
+	pb.Ldi(steps, 0)
+	pb.Jmp(wHead)
+
+	pb.StartBlock(wHead)
+	cw := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, cw, ir.TempOp(steps), ir.ImmOp(cells/2))
+	pb.Br(ir.TempOp(cw), wBody, wDone)
+
+	pb.StartBlock(wBody)
+	addr := pb.IntTemp("addr")
+	car := pb.IntTemp("car")
+	val := pb.IntTemp("val")
+	pb.Op2(ir.Shl, addr, ir.TempOp(node), ir.ImmOp(1))
+	pb.Ld(car, ir.TempOp(addr), 0)
+	pb.Call("eval", val, ir.TempOp(car), ir.TempOp(steps))
+	pb.Op2(ir.Add, total, ir.TempOp(total), ir.TempOp(val))
+	pb.Ld(node, ir.TempOp(addr), 1) // cdr
+	pb.Op2(ir.Add, steps, ir.TempOp(steps), ir.ImmOp(1))
+	pb.Jmp(wHead)
+
+	pb.StartBlock(wDone)
+	pb.Op2(ir.Add, rd, ir.TempOp(rd), ir.ImmOp(1))
+	pb.Jmp(rHead)
+
+	pb.StartBlock(done)
+	pb.Call("puti", ir.NoTemp, ir.TempOp(total))
+	pb.Ret(total)
+	return b.Prog
+}
+
+// --- tomcatv ----------------------------------------------------------------
+
+// BuildTomcatv models the vectorized mesh generator: a nested loop
+// applying a 5-point stencil over a 2-D grid with a handful of FP
+// temporaries — regular code that fits comfortably in registers.
+func BuildTomcatv(mach *target.Machine, scale int) *ir.Program {
+	const dim = 16
+	b := ir.NewBuilder(mach, dim*dim+8)
+	for i := 0; i < dim*dim; i++ {
+		b.Prog.SetMemF(i, float64(i%23)*0.25)
+	}
+	pb := b.NewProc("main")
+
+	iters := pb.IntTemp("iters")
+	pb.Ldi(iters, int64(scale))
+	t := pb.IntTemp("t")
+	pb.Ldi(t, 0)
+
+	tHead := pb.Block("t_head")
+	tBody := pb.Block("t_body")
+	yHead := pb.Block("y_head")
+	yBody := pb.Block("y_body")
+	xHead := pb.Block("x_head")
+	xBody := pb.Block("x_body")
+	xDone := pb.Block("x_done")
+	yDone := pb.Block("y_done")
+	done := pb.Block("done")
+
+	pb.Jmp(tHead)
+	pb.StartBlock(tHead)
+	c := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, c, ir.TempOp(t), ir.TempOp(iters))
+	pb.Br(ir.TempOp(c), tBody, done)
+
+	pb.StartBlock(tBody)
+	y := pb.IntTemp("y")
+	pb.Ldi(y, 1)
+	pb.Jmp(yHead)
+
+	pb.StartBlock(yHead)
+	cy := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, cy, ir.TempOp(y), ir.ImmOp(dim-1))
+	pb.Br(ir.TempOp(cy), yBody, yDone)
+
+	pb.StartBlock(yBody)
+	x := pb.IntTemp("x")
+	row := pb.IntTemp("row")
+	pb.Ldi(x, 1)
+	pb.Op2(ir.Mul, row, ir.TempOp(y), ir.ImmOp(dim))
+	pb.Jmp(xHead)
+
+	pb.StartBlock(xHead)
+	cx := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, cx, ir.TempOp(x), ir.ImmOp(dim-1))
+	pb.Br(ir.TempOp(cx), xBody, xDone)
+
+	pb.StartBlock(xBody)
+	idx := pb.IntTemp("idx")
+	pb.Op2(ir.Add, idx, ir.TempOp(row), ir.TempOp(x))
+	ctr := pb.FloatTemp("ctr")
+	nb := pb.FloatTemp("nb")
+	acc2 := pb.FloatTemp("acc2")
+	pb.FLd(ctr, ir.TempOp(idx), 0)
+	pb.FLd(nb, ir.TempOp(idx), -1)
+	pb.Op2(ir.FAdd, acc2, ir.TempOp(ctr), ir.TempOp(nb))
+	pb.FLd(nb, ir.TempOp(idx), 1)
+	pb.Op2(ir.FAdd, acc2, ir.TempOp(acc2), ir.TempOp(nb))
+	pb.FLd(nb, ir.TempOp(idx), -dim)
+	pb.Op2(ir.FAdd, acc2, ir.TempOp(acc2), ir.TempOp(nb))
+	pb.FLd(nb, ir.TempOp(idx), dim)
+	pb.Op2(ir.FAdd, acc2, ir.TempOp(acc2), ir.TempOp(nb))
+	pb.Op2(ir.FMul, acc2, ir.TempOp(acc2), ir.FImmOp(0.2))
+	pb.FSt(ir.TempOp(acc2), ir.TempOp(idx), 0)
+	pb.Op2(ir.Add, x, ir.TempOp(x), ir.ImmOp(1))
+	pb.Jmp(xHead)
+
+	pb.StartBlock(xDone)
+	pb.Op2(ir.Add, y, ir.TempOp(y), ir.ImmOp(1))
+	pb.Jmp(yHead)
+
+	pb.StartBlock(yDone)
+	pb.Op2(ir.Add, t, ir.TempOp(t), ir.ImmOp(1))
+	pb.Jmp(tHead)
+
+	pb.StartBlock(done)
+	probe := pb.FloatTemp("probe")
+	pb.FLd(probe, ir.ImmOp(dim+1), 0)
+	pb.Call("putf", ir.NoTemp, ir.TempOp(probe))
+	ret := pb.IntTemp("ret")
+	pb.Op1(ir.CvtFI, ret, ir.TempOp(probe))
+	pb.Ret(ret)
+	return b.Prog
+}
+
+// --- compress ----------------------------------------------------------------
+
+// BuildCompress models LZW: a getc loop hashing the (prefix, char) pair
+// into a table with linear probing — integer code with hot table traffic
+// and modest pressure.
+func BuildCompress(mach *target.Machine, scale int) *ir.Program {
+	const tab = 128
+	b := ir.NewBuilder(mach, tab+8)
+	pb := b.NewProc("main")
+
+	prefix := pb.IntTemp("prefix")
+	codes := pb.IntTemp("codes")
+	outsum := pb.IntTemp("outsum")
+	pb.Ldi(prefix, 0)
+	pb.Ldi(codes, 256)
+	pb.Ldi(outsum, 0)
+
+	head := pb.Block("head")
+	body := pb.Block("body")
+	probe := pb.Block("probe")
+	hit := pb.Block("hit")
+	miss := pb.Block("miss")
+	cont := pb.Block("cont")
+	done := pb.Block("done")
+
+	pb.Jmp(head)
+	pb.StartBlock(head)
+	ch := pb.IntTemp("ch")
+	pb.Call("getc", ch)
+	eof := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, eof, ir.TempOp(ch), ir.ImmOp(0))
+	pb.Br(ir.TempOp(eof), done, body)
+
+	pb.StartBlock(body)
+	h := pb.IntTemp("h")
+	pb.Op2(ir.Shl, h, ir.TempOp(prefix), ir.ImmOp(5))
+	pb.Op2(ir.Xor, h, ir.TempOp(h), ir.TempOp(ch))
+	pb.Op2(ir.And, h, ir.TempOp(h), ir.ImmOp(tab-1))
+	pb.Jmp(probe)
+
+	pb.StartBlock(probe)
+	entry := pb.IntTemp("entry")
+	pb.Ld(entry, ir.TempOp(h), 0)
+	key := pb.IntTemp("key")
+	pb.Op2(ir.Shl, key, ir.TempOp(prefix), ir.ImmOp(9))
+	pb.Op2(ir.Or, key, ir.TempOp(key), ir.TempOp(ch))
+	same := pb.IntTemp("")
+	pb.Op2(ir.CmpEQ, same, ir.TempOp(entry), ir.TempOp(key))
+	pb.Br(ir.TempOp(same), hit, miss)
+
+	pb.StartBlock(hit)
+	pb.Op2(ir.And, prefix, ir.TempOp(key), ir.ImmOp(511))
+	pb.Jmp(cont)
+
+	pb.StartBlock(miss)
+	pb.St(ir.TempOp(key), ir.TempOp(h), 0)
+	pb.Op2(ir.Add, outsum, ir.TempOp(outsum), ir.TempOp(prefix))
+	pb.Op2(ir.And, prefix, ir.TempOp(ch), ir.ImmOp(255))
+	pb.Op2(ir.Add, codes, ir.TempOp(codes), ir.ImmOp(1))
+	pb.Jmp(cont)
+
+	pb.StartBlock(cont)
+	pb.Op2(ir.And, codes, ir.TempOp(codes), ir.ImmOp(0xffff))
+	pb.Jmp(head)
+
+	pb.StartBlock(done)
+	pb.Op2(ir.Xor, outsum, ir.TempOp(outsum), ir.TempOp(codes))
+	pb.Call("puti", ir.NoTemp, ir.TempOp(outsum))
+	pb.Ret(outsum)
+	_ = scale
+	return b.Prog
+}
+
+// --- m88ksim -----------------------------------------------------------------
+
+// BuildM88ksim models the CPU simulator: a fetch/decode/execute loop over
+// an instruction array with a 4-way opcode dispatch updating simulated
+// machine state.
+func BuildM88ksim(mach *target.Machine, scale int) *ir.Program {
+	const prog = 96
+	b := ir.NewBuilder(mach, prog+16)
+	for i := 0; i < prog; i++ {
+		b.Prog.SetMem(i, int64((i*2654435761)>>3)&0xffff)
+	}
+	pb := b.NewProc("main")
+
+	cycles := pb.IntTemp("cycles")
+	pb.Ldi(cycles, int64(scale*16))
+	pc := pb.IntTemp("pc")
+	pb.Ldi(pc, 0)
+	r0 := pb.IntTemp("sim_r0")
+	r1 := pb.IntTemp("sim_r1")
+	r2 := pb.IntTemp("sim_r2")
+	flags := pb.IntTemp("flags")
+	pb.Ldi(r0, 1)
+	pb.Ldi(r1, 2)
+	pb.Ldi(r2, 3)
+	pb.Ldi(flags, 0)
+	cyc := pb.IntTemp("cyc")
+	pb.Ldi(cyc, 0)
+
+	head := pb.Block("head")
+	body := pb.Block("body")
+	opAdd := pb.Block("op_add")
+	opXor := pb.Block("op_xor")
+	opShift := pb.Block("op_shift")
+	opShl := pb.Block("op_shl")
+	opMem := pb.Block("op_mem")
+	d1 := pb.Block("d1")
+	next := pb.Block("next")
+	done := pb.Block("done")
+
+	pb.Jmp(head)
+	pb.StartBlock(head)
+	c := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, c, ir.TempOp(cyc), ir.TempOp(cycles))
+	pb.Br(ir.TempOp(c), body, done)
+
+	pb.StartBlock(body)
+	insn := pb.IntTemp("insn")
+	pb.Ld(insn, ir.TempOp(pc), 0)
+	op := pb.IntTemp("op")
+	pb.Op2(ir.And, op, ir.TempOp(insn), ir.ImmOp(3))
+	isLow := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, isLow, ir.TempOp(op), ir.ImmOp(2))
+	pb.Br(ir.TempOp(isLow), d1, opShift)
+
+	pb.StartBlock(d1)
+	isAdd := pb.IntTemp("")
+	pb.Op2(ir.CmpEQ, isAdd, ir.TempOp(op), ir.ImmOp(0))
+	pb.Br(ir.TempOp(isAdd), opAdd, opXor)
+
+	pb.StartBlock(opAdd)
+	imm := pb.IntTemp("")
+	pb.Op2(ir.Shr, imm, ir.TempOp(insn), ir.ImmOp(2))
+	pb.Op2(ir.Add, r0, ir.TempOp(r0), ir.TempOp(imm))
+	pb.Jmp(next)
+
+	pb.StartBlock(opXor)
+	pb.Op2(ir.Xor, r1, ir.TempOp(r1), ir.TempOp(r0))
+	pb.Op2(ir.Or, flags, ir.TempOp(flags), ir.ImmOp(1))
+	pb.Jmp(next)
+
+	pb.StartBlock(opShift)
+	isMem := pb.IntTemp("")
+	pb.Op2(ir.CmpEQ, isMem, ir.TempOp(op), ir.ImmOp(3))
+	pb.Br(ir.TempOp(isMem), opMem, opShl)
+
+	pb.StartBlock(opShl)
+	sh := pb.IntTemp("sh")
+	pb.Op2(ir.And, sh, ir.TempOp(insn), ir.ImmOp(7))
+	pb.Op2(ir.Shl, r2, ir.TempOp(r2), ir.TempOp(sh))
+	pb.Op2(ir.And, r2, ir.TempOp(r2), ir.ImmOp(0xffffff))
+	pb.Jmp(next)
+
+	pb.StartBlock(opMem)
+	a := pb.IntTemp("a")
+	pb.Op2(ir.And, a, ir.TempOp(r2), ir.ImmOp(prog-1))
+	v := pb.IntTemp("v")
+	pb.Ld(v, ir.TempOp(a), 0)
+	pb.Op2(ir.Add, r2, ir.TempOp(r2), ir.TempOp(v))
+	pb.Op2(ir.And, r2, ir.TempOp(r2), ir.ImmOp(0xfffff))
+	pb.Jmp(next)
+
+	pb.StartBlock(next)
+	pb.Op2(ir.Add, pc, ir.TempOp(pc), ir.ImmOp(1))
+	keep := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, keep, ir.TempOp(pc), ir.ImmOp(prog))
+	pb.Op2(ir.Mul, pc, ir.TempOp(pc), ir.TempOp(keep))
+	pb.Op2(ir.Add, cyc, ir.TempOp(cyc), ir.ImmOp(1))
+	pb.Jmp(head)
+
+	pb.StartBlock(done)
+	sum := pb.IntTemp("sum")
+	pb.Op2(ir.Add, sum, ir.TempOp(r0), ir.TempOp(r1))
+	pb.Op2(ir.Xor, sum, ir.TempOp(sum), ir.TempOp(r2))
+	pb.Op2(ir.Add, sum, ir.TempOp(sum), ir.TempOp(flags))
+	pb.Call("puti", ir.NoTemp, ir.TempOp(sum))
+	pb.Ret(sum)
+	return b.Prog
+}
+
+// --- sort --------------------------------------------------------------------
+
+// BuildSort models UNIX sort: repeated insertion sort of a shuffled
+// array — a partition-style inner loop with moderate integer pressure.
+func BuildSort(mach *target.Machine, scale int) *ir.Program {
+	const n = 48
+	b := ir.NewBuilder(mach, n+8)
+	for i := 0; i < n; i++ {
+		b.Prog.SetMem(i, int64((i*2654435761+11)%977))
+	}
+	pb := b.NewProc("main")
+
+	rounds := pb.IntTemp("rounds")
+	pb.Ldi(rounds, int64(scale))
+	rd := pb.IntTemp("rd")
+	pb.Ldi(rd, 0)
+	check := pb.IntTemp("check")
+	pb.Ldi(check, 0)
+
+	rHead := pb.Block("round_head")
+	rBody := pb.Block("round_body")
+	iHead := pb.Block("i_head")
+	iBody := pb.Block("i_body")
+	jHead := pb.Block("j_head")
+	jTest := pb.Block("j_test")
+	jBody := pb.Block("j_body")
+	jDone := pb.Block("j_done")
+	iDone := pb.Block("i_done")
+	done := pb.Block("done")
+
+	pb.Jmp(rHead)
+	pb.StartBlock(rHead)
+	c := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, c, ir.TempOp(rd), ir.TempOp(rounds))
+	pb.Br(ir.TempOp(c), rBody, done)
+
+	pb.StartBlock(rBody)
+	// Perturb the array so each round sorts something new.
+	p0 := pb.IntTemp("p0")
+	pb.Ld(p0, ir.ImmOp(0), 0)
+	pb.Op2(ir.Add, p0, ir.TempOp(p0), ir.TempOp(rd))
+	pb.Op2(ir.And, p0, ir.TempOp(p0), ir.ImmOp(1023))
+	pb.St(ir.TempOp(p0), ir.ImmOp(0), 0)
+	i := pb.IntTemp("i")
+	pb.Ldi(i, 1)
+	pb.Jmp(iHead)
+
+	pb.StartBlock(iHead)
+	ci := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, ci, ir.TempOp(i), ir.ImmOp(n))
+	pb.Br(ir.TempOp(ci), iBody, iDone)
+
+	pb.StartBlock(iBody)
+	keyv := pb.IntTemp("key")
+	j := pb.IntTemp("j")
+	pb.Ld(keyv, ir.TempOp(i), 0)
+	pb.Op2(ir.Sub, j, ir.TempOp(i), ir.ImmOp(1))
+	pb.Jmp(jHead)
+
+	pb.StartBlock(jHead)
+	nonneg := pb.IntTemp("")
+	pb.Op2(ir.CmpGE, nonneg, ir.TempOp(j), ir.ImmOp(0))
+	pb.Br(ir.TempOp(nonneg), jTest, jDone)
+
+	pb.StartBlock(jTest)
+	cur := pb.IntTemp("cur")
+	pb.Ld(cur, ir.TempOp(j), 0)
+	gt := pb.IntTemp("")
+	pb.Op2(ir.CmpGT, gt, ir.TempOp(cur), ir.TempOp(keyv))
+	pb.Br(ir.TempOp(gt), jBody, jDone)
+
+	pb.StartBlock(jBody)
+	pb.St(ir.TempOp(cur), ir.TempOp(j), 1)
+	pb.Op2(ir.Sub, j, ir.TempOp(j), ir.ImmOp(1))
+	pb.Jmp(jHead)
+
+	pb.StartBlock(jDone)
+	pb.St(ir.TempOp(keyv), ir.TempOp(j), 1)
+	pb.Op2(ir.Add, i, ir.TempOp(i), ir.ImmOp(1))
+	pb.Jmp(iHead)
+
+	pb.StartBlock(iDone)
+	mid := pb.IntTemp("mid")
+	pb.Ld(mid, ir.ImmOp(n/2), 0)
+	pb.Op2(ir.Xor, check, ir.TempOp(check), ir.TempOp(mid))
+	pb.Op2(ir.Add, rd, ir.TempOp(rd), ir.ImmOp(1))
+	pb.Jmp(rHead)
+
+	pb.StartBlock(done)
+	pb.Call("puti", ir.NoTemp, ir.TempOp(check))
+	pb.Ret(check)
+	return b.Prog
+}
+
+// --- wc ----------------------------------------------------------------------
+
+// BuildWC models word count with the structure §3.1 analyses. Two phases:
+// a short warm-up getc loop accumulating into six "setup" values that are
+// read again only after the main loop, then the main getc loop whose body
+// updates a hot working set (counters plus classification bounds) sized
+// exactly to the callee-saved file.
+//
+// The setup values overlap everything, so under whole-lifetime (two-pass)
+// binpacking they monopolize callee-saved registers — "there is no hole
+// in a caller-saved register large enough" for the hot set, which is
+// evicted to memory and pays loads and stores every iteration. Second
+// chance splits the setup lifetimes (one store each when the hot set
+// arrives, one reload each at the end), and coloring spills them
+// wholesale at the same tiny cost, so both stay near zero spill.
+func BuildWC(mach *target.Machine, scale int) *ir.Program {
+	b := ir.NewBuilder(mach, 16)
+	pb := b.NewProc("main")
+
+	const warmup = 16
+
+	// Configuration values ("command-line options"): initialized first,
+	// accumulated during the short warm-up loop, folded away just after
+	// the hot set is born. Their lifetimes span the warm-up's getc calls,
+	// so they can only live in callee-saved registers.
+	nCfg := 6
+	cfgs := make([]ir.Temp, nCfg)
+	for k := range cfgs {
+		cfgs[k] = pb.IntTemp(fmt.Sprintf("cfg%d", k))
+		pb.Ldi(cfgs[k], int64(1000+k*37))
+	}
+
+	wHead := pb.Block("warm_head")
+	wBody := pb.Block("warm_body")
+	wDone := pb.Block("warm_done")
+
+	wi := pb.IntTemp("wi")
+	wsum := pb.IntTemp("wsum")
+	pb.Ldi(wi, 0)
+	pb.Ldi(wsum, 0)
+	pb.Jmp(wHead)
+
+	pb.StartBlock(wHead)
+	wc := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, wc, ir.TempOp(wi), ir.ImmOp(warmup))
+	pb.Br(ir.TempOp(wc), wBody, wDone)
+
+	pb.StartBlock(wBody)
+	wch := pb.IntTemp("wch")
+	pb.Call("getc", wch)
+	// The configuration values are not touched here — they are merely
+	// live across these calls (cheap to spill wholesale, expensive to
+	// keep in a caller-saved register).
+	pb.Op2(ir.Add, wsum, ir.TempOp(wsum), ir.TempOp(wch))
+	pb.Op2(ir.Add, wi, ir.TempOp(wi), ir.ImmOp(1))
+	pb.Jmp(wHead)
+
+	pb.StartBlock(wDone)
+	// The hot working set of the main loop is born here, while the
+	// configuration values still hold every callee-saved register: the
+	// counters updated each iteration plus read-only classification
+	// bounds — eight values live across the main loop's getc call.
+	//
+	// This overlap is what separates the allocators (§3.1): whole-
+	// lifetime binpacking finds no callee-saved hole (the configuration
+	// is still live) and no caller-saved hole (the main loop's calls),
+	// so it exiles part of the hot set to memory for the whole run.
+	// Second-chance binpacking parks the hot set in caller-saved
+	// registers, and when the first main-loop call expires those holes —
+	// the configuration now being dead — early second chance moves the
+	// values into callee-saved registers instead of storing them
+	// ("evicting them just before the procedure call but avoiding
+	// unnecessary stores"). Coloring spills the cheap configuration
+	// values and keeps the hot set in callee-saved registers.
+	chars := pb.IntTemp("chars")
+	words := pb.IntTemp("words")
+	lines := pb.IntTemp("lines")
+	vowels := pb.IntTemp("vowels")
+	inword := pb.IntTemp("inword")
+	wlen := pb.IntTemp("wlen")
+	bLowerA := pb.IntTemp("bLowerA")
+	bVowelMask := pb.IntTemp("bVowelMask")
+	for _, t := range []ir.Temp{chars, words, lines, vowels, inword, wlen} {
+		pb.Ldi(t, 0)
+	}
+	pb.Ldi(bLowerA, 'a')
+	pb.Ldi(bVowelMask, (1<<('a'-'a'))|(1<<('e'-'a'))|(1<<('i'-'a'))|(1<<('o'-'a'))|(1<<('u'-'a')))
+
+	// Fold the configuration into one value and report it; the cfg
+	// lifetimes end here, freeing the callee-saved file.
+	cfgSum := pb.IntTemp("cfgSum")
+	pb.Mov(cfgSum, ir.TempOp(wsum))
+	for k := range cfgs {
+		pb.Op2(ir.Xor, cfgSum, ir.TempOp(cfgSum), ir.TempOp(cfgs[k]))
+	}
+	pb.Call("puti", ir.NoTemp, ir.TempOp(cfgSum))
+
+	head := pb.Block("head")
+	body := pb.Block("body")
+	isNl := pb.Block("is_nl")
+	notNl := pb.Block("not_nl")
+	sep := pb.Block("sep")
+	inw := pb.Block("inw")
+	vowel := pb.Block("vowel")
+	cont := pb.Block("cont")
+	done := pb.Block("done")
+
+	pb.Jmp(head)
+	pb.StartBlock(head)
+	ch := pb.IntTemp("ch")
+	pb.Call("getc", ch)
+	eof := pb.IntTemp("")
+	pb.Op2(ir.CmpLT, eof, ir.TempOp(ch), ir.ImmOp(0))
+	pb.Br(ir.TempOp(eof), done, body)
+
+	pb.StartBlock(body)
+	pb.Op2(ir.Add, chars, ir.TempOp(chars), ir.ImmOp(1))
+	nl := pb.IntTemp("")
+	pb.Op2(ir.CmpEQ, nl, ir.TempOp(ch), ir.ImmOp('\n'))
+	pb.Br(ir.TempOp(nl), isNl, notNl)
+
+	pb.StartBlock(isNl)
+	pb.Op2(ir.Add, lines, ir.TempOp(lines), ir.ImmOp(1))
+	pb.Jmp(sep)
+
+	pb.StartBlock(notNl)
+	sp := pb.IntTemp("")
+	pb.Op2(ir.CmpEQ, sp, ir.TempOp(ch), ir.ImmOp(' '))
+	pb.Br(ir.TempOp(sp), sep, inw)
+
+	pb.StartBlock(sep)
+	// End of word: count it if one was open.
+	pb.Op2(ir.Add, words, ir.TempOp(words), ir.TempOp(inword))
+	pb.Ldi(inword, 0)
+	pb.Ldi(wlen, 0)
+	pb.Jmp(cont)
+
+	pb.StartBlock(inw)
+	pb.Ldi(inword, 1)
+	pb.Op2(ir.Add, wlen, ir.TempOp(wlen), ir.ImmOp(1))
+	// Classify against the read-only bounds (two reads of bLowerA, one
+	// of the vowel mask, every non-separator byte).
+	geA := pb.IntTemp("")
+	pb.Op2(ir.CmpGE, geA, ir.TempOp(ch), ir.TempOp(bLowerA))
+	off := pb.IntTemp("")
+	pb.Op2(ir.Sub, off, ir.TempOp(ch), ir.TempOp(bLowerA))
+	bitp := pb.IntTemp("")
+	pb.Op2(ir.Shr, bitp, ir.TempOp(bVowelMask), ir.TempOp(off))
+	pb.Op2(ir.And, bitp, ir.TempOp(bitp), ir.ImmOp(1))
+	pb.Op2(ir.And, bitp, ir.TempOp(bitp), ir.TempOp(geA))
+	pb.Br(ir.TempOp(bitp), vowel, cont)
+
+	pb.StartBlock(vowel)
+	pb.Op2(ir.Add, vowels, ir.TempOp(vowels), ir.ImmOp(1))
+	pb.Op2(ir.Add, vowels, ir.TempOp(vowels), ir.TempOp(wlen))
+	pb.Jmp(cont)
+
+	pb.StartBlock(cont)
+	pb.Jmp(head)
+
+	pb.StartBlock(done)
+	pb.Op2(ir.Add, words, ir.TempOp(words), ir.TempOp(inword))
+	sum := pb.IntTemp("sum")
+	pb.Op2(ir.Add, sum, ir.TempOp(chars), ir.TempOp(words))
+	pb.Op2(ir.Shl, lines, ir.TempOp(lines), ir.ImmOp(4))
+	pb.Op2(ir.Add, sum, ir.TempOp(sum), ir.TempOp(lines))
+	pb.Op2(ir.Add, sum, ir.TempOp(sum), ir.TempOp(vowels))
+	pb.Call("puti", ir.NoTemp, ir.TempOp(sum))
+	pb.Ret(sum)
+	_ = scale
+	return b.Prog
+}

@@ -1,0 +1,258 @@
+// Package verify checks that an allocated procedure still computes the
+// original program: a forward symbolic dataflow over machine locations
+// (registers and spill slots) proves that every rewritten use reads the
+// value of the temporary the original instruction named, along every
+// path.
+//
+// The verifier consumes the OrigUses/OrigDefs side tables the allocators
+// attach while rewriting. It is intentionally conservative: a use that
+// reads a location the analysis cannot prove to hold the right value is
+// an error. Calls clobber caller-saved registers, so convention bugs
+// (keeping a live value in a caller-saved register across a call) are
+// caught statically, complementing the VM's paranoid mode.
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/target"
+)
+
+// loc is a machine location: a register or a spill slot.
+type loc struct {
+	isSlot bool
+	reg    target.Reg
+	slot   int64
+}
+
+func regLoc(r target.Reg) loc { return loc{reg: r} }
+func slotLoc(s int64) loc     { return loc{isSlot: true, slot: s} }
+func (l loc) String() string {
+	if l.isSlot {
+		return fmt.Sprintf("slot%d", l.slot)
+	}
+	return fmt.Sprintf("R%d", l.reg)
+}
+
+// value is the temporary whose current (original-program) value a
+// location holds; noValue means unknown.
+const noValue ir.Temp = -2
+
+type state map[loc]ir.Temp
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// meet intersects other into s and reports change.
+func (s state) meet(other state) bool {
+	changed := false
+	for k, v := range s {
+		if ov, ok := other[k]; !ok || ov != v {
+			delete(s, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Verify checks the allocated procedure p against the original program
+// structure encoded in its OrigUses/OrigDefs annotations.
+func Verify(p *ir.Proc, mach *target.Machine) error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("verify: %s: empty procedure", p.Name)
+	}
+
+	// Entry state: each temporary's home slot holds its (initial zero)
+	// value; everything else is unknown. Slot ownership is recovered
+	// from the slot operands themselves.
+	entry := make(state)
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			for _, o := range append(b.Instrs[i].Uses, b.Instrs[i].Defs...) {
+				if o.Kind == ir.KindSlot && o.Temp != ir.NoTemp {
+					entry[slotLoc(o.Imm)] = o.Temp
+				}
+			}
+		}
+	}
+
+	// Fixpoint of in-states (decreasing lattice). Blocks are indexed
+	// locally so the verifier works on procedures that were never
+	// Renumber()ed (e.g. hand-built tests).
+	index := make(map[*ir.Block]int, len(p.Blocks))
+	for i, b := range p.Blocks {
+		index[b] = i
+	}
+	in := make([]state, len(p.Blocks))
+	in[index[p.Entry()]] = entry
+	work := []*ir.Block{p.Entry()}
+	queued := make([]bool, len(p.Blocks))
+	queued[index[p.Entry()]] = true
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[index[b]] = false
+		out := in[index[b]].clone()
+		transferBlock(p, mach, b, out, nil)
+		for _, s := range b.Succs {
+			if in[index[s]] == nil {
+				in[index[s]] = out.clone()
+			} else if !in[index[s]].meet(out) {
+				continue
+			}
+			if !queued[index[s]] {
+				queued[index[s]] = true
+				work = append(work, s)
+			}
+		}
+	}
+
+	// Final pass with checks enabled.
+	for _, b := range p.Blocks {
+		if in[index[b]] == nil {
+			continue // unreachable
+		}
+		st := in[index[b]].clone()
+		var err error
+		transferBlock(p, mach, b, st, func(e error) {
+			if err == nil {
+				err = e
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("verify: %s: block %s: %w", p.Name, b.Name, err)
+		}
+	}
+	return nil
+}
+
+// transferBlock interprets one block symbolically, mutating st. When
+// check is non-nil, use sites are validated.
+func transferBlock(p *ir.Proc, mach *target.Machine, b *ir.Block, st state, check func(error)) {
+	invalidate := func(t ir.Temp) {
+		for k, v := range st {
+			if v == t {
+				delete(st, k)
+			}
+		}
+	}
+	locOf := func(o ir.Operand) (loc, bool) {
+		switch o.Kind {
+		case ir.KindReg:
+			return regLoc(o.Reg), true
+		case ir.KindSlot:
+			return slotLoc(o.Imm), true
+		}
+		return loc{}, false
+	}
+
+	for i := range b.Instrs {
+		instr := &b.Instrs[i]
+
+		// Check original uses.
+		if check != nil && instr.OrigUses != nil {
+			for ui, t := range instr.OrigUses {
+				if t == ir.NoTemp {
+					continue
+				}
+				l, ok := locOf(instr.Uses[ui])
+				if !ok {
+					check(fmt.Errorf("%v: use %d of %s not in a location", instr.Op, ui, p.TempName(t)))
+					continue
+				}
+				if v, ok := st[l]; !ok || v != t {
+					have := "unknown"
+					if ok {
+						have = p.TempName(v)
+					}
+					check(fmt.Errorf("%v at pos %d: use of %s reads %v which holds %s",
+						instr.Op, instr.Pos, p.TempName(t), l, have))
+				}
+			}
+		}
+
+		// Spill instructions carrying Orig annotations are original
+		// instructions of the program being verified: graph coloring's
+		// spill rewrite introduces fresh temporaries whose defining
+		// loads and storing stores are part of the (already rewritten)
+		// program, not allocator data movement.
+		spillIsOriginal := (instr.Op == ir.SpillLd && instr.OrigDefs != nil && instr.OrigDefs[0] != ir.NoTemp) ||
+			(instr.Op == ir.SpillSt && instr.OrigUses != nil && instr.OrigUses[0] != ir.NoTemp)
+
+		switch {
+		case instr.Op == ir.Call:
+			// Caller-saved registers die. (Return registers too: the
+			// value they carry afterwards belongs to the callee and is
+			// claimed by the convention move's original def.)
+			for k := range st {
+				if !k.isSlot && mach.CallerSaved(k.reg) {
+					delete(st, k)
+				}
+			}
+		case (instr.Op == ir.SpillLd || instr.Op == ir.SpillSt) && !spillIsOriginal,
+			instr.Op.IsMove() && instr.OrigDefs == nil:
+			// Pure data movement inserted by the allocator (or a
+			// convention move with no temp def): the destination now
+			// holds whatever the source held.
+			var src, dst ir.Operand
+			if instr.Op == ir.SpillSt {
+				src, dst = instr.Uses[0], instr.Uses[1]
+			} else {
+				src, dst = instr.Uses[0], instr.Defs[0]
+			}
+			sl, sok := locOf(src)
+			dl, dok := locOf(dst)
+			if !dok {
+				break
+			}
+			if v, ok := st[sl]; sok && ok {
+				st[dl] = v
+			} else {
+				delete(st, dl)
+			}
+		case instr.Op == ir.SpillSt && spillIsOriginal:
+			// An original store of a fresh spill temporary: the slot
+			// now holds that temporary's value (its use was checked
+			// above).
+			if l, ok := locOf(instr.Uses[1]); ok {
+				st[l] = instr.OrigUses[0]
+			}
+		default:
+			// Original computation (or a rewritten original move):
+			// original defs produce fresh values of their temporaries.
+			for di := range instr.Defs {
+				l, ok := locOf(instr.Defs[di])
+				var t ir.Temp = ir.NoTemp
+				if instr.OrigDefs != nil {
+					t = instr.OrigDefs[di]
+				}
+				if t == ir.NoTemp {
+					// A write to machine state not tied to a temp. A
+					// move still forwards its source's value.
+					if ok {
+						if instr.Op.IsMove() {
+							if sl, sok := locOf(instr.Uses[0]); sok {
+								if v, has := st[sl]; has {
+									st[l] = v
+									continue
+								}
+							}
+						}
+						delete(st, l)
+					}
+					continue
+				}
+				invalidate(t)
+				if ok {
+					st[l] = t
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/target"
+)
+
+// hand-build a tiny "allocated" procedure with Orig annotations.
+func handProc(mach *target.Machine) (*ir.Proc, ir.Temp, target.Reg, target.Reg) {
+	p := ir.NewProc("main")
+	x := p.NewTemp(target.ClassInt, "x")
+	r1 := mach.Reg(target.ClassInt, 1)
+	r2 := mach.Reg(target.ClassInt, 2)
+	blk := p.NewBlock("entry")
+	blk.Instrs = []ir.Instr{
+		// x ← 5 (original def, allocated to r1)
+		{Op: ir.Ldi, Defs: []ir.Operand{ir.RegOp(r1)}, Uses: []ir.Operand{ir.ImmOp(5)},
+			OrigDefs: []ir.Temp{x}, OrigUses: []ir.Temp{ir.NoTemp}},
+		// use of x from r1 (correct)
+		{Op: ir.Add, Defs: []ir.Operand{ir.RegOp(r2)}, Uses: []ir.Operand{ir.RegOp(r1), ir.ImmOp(1)},
+			OrigDefs: []ir.Temp{ir.NoTemp}, OrigUses: []ir.Temp{x, ir.NoTemp}},
+		{Op: ir.Ret},
+	}
+	return p, x, r1, r2
+}
+
+func TestAcceptsCorrect(t *testing.T) {
+	mach := target.Tiny(6, 3)
+	p, _, _, _ := handProc(mach)
+	if err := Verify(p, mach); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsWrongRegister(t *testing.T) {
+	mach := target.Tiny(6, 3)
+	p, _, _, r2 := handProc(mach)
+	// Redirect the use to r2, which holds nothing.
+	p.Blocks[0].Instrs[1].Uses[0] = ir.RegOp(r2)
+	if err := Verify(p, mach); err == nil {
+		t.Fatal("wrong-register use accepted")
+	}
+}
+
+func TestRejectsValueLostAcrossCall(t *testing.T) {
+	mach := target.Tiny(6, 3)
+	p, x, r1, _ := handProc(mach)
+	// Insert a call between def and use: r1 is caller-saved on Tiny, so
+	// the value is lost and the use must be rejected.
+	if !mach.CallerSaved(r1) {
+		t.Skip("register layout changed")
+	}
+	blk := p.Blocks[0]
+	call := ir.Instr{Op: ir.Call, Uses: []ir.Operand{ir.SymOp("getc")},
+		Defs: []ir.Operand{ir.RegOp(mach.RetReg(target.ClassInt))}}
+	blk.Instrs = []ir.Instr{blk.Instrs[0], call, blk.Instrs[1], blk.Instrs[2]}
+	if err := Verify(p, mach); err == nil {
+		t.Fatal("caller-saved value use across call accepted")
+	}
+	_ = x
+}
+
+func TestSpillRoundTripAccepted(t *testing.T) {
+	mach := target.Tiny(6, 3)
+	p, x, r1, r2 := handProc(mach)
+	slot := p.NewSlot()
+	blk := p.Blocks[0]
+	callee := mach.CalleeSavedRegs(target.ClassInt)
+	_ = callee
+	// def x in r1; store to slot; call; reload into r2; use from r2.
+	blk.Instrs = []ir.Instr{
+		blk.Instrs[0],
+		{Op: ir.SpillSt, Uses: []ir.Operand{ir.RegOp(r1), ir.SlotOp(slot, x)}},
+		{Op: ir.Call, Uses: []ir.Operand{ir.SymOp("getc")},
+			Defs: []ir.Operand{ir.RegOp(mach.RetReg(target.ClassInt))}},
+		{Op: ir.SpillLd, Defs: []ir.Operand{ir.RegOp(r2)}, Uses: []ir.Operand{ir.SlotOp(slot, x)}},
+		{Op: ir.Add, Defs: []ir.Operand{ir.RegOp(r1)}, Uses: []ir.Operand{ir.RegOp(r2), ir.ImmOp(1)},
+			OrigDefs: []ir.Temp{ir.NoTemp}, OrigUses: []ir.Temp{x, ir.NoTemp}},
+		{Op: ir.Ret},
+	}
+	if err := Verify(p, mach); err != nil {
+		t.Fatalf("valid spill round trip rejected: %v", err)
+	}
+	// Drop the store: the reload now yields the stale initial value, but
+	// x was defined in between — must be rejected.
+	blk.Instrs = append(blk.Instrs[:1], blk.Instrs[2:]...)
+	if err := Verify(p, mach); err == nil {
+		t.Fatal("missing spill store accepted")
+	}
+}
+
+func TestMergeRequiresAgreement(t *testing.T) {
+	mach := target.Tiny(6, 3)
+	p := ir.NewProc("main")
+	x := p.NewTemp(target.ClassInt, "x")
+	r1 := mach.Reg(target.ClassInt, 1)
+	r2 := mach.Reg(target.ClassInt, 2)
+	r3 := mach.Reg(target.ClassInt, 3)
+
+	entry := p.NewBlock("entry")
+	a := p.NewBlock("a")
+	bb := p.NewBlock("b")
+	join := p.NewBlock("join")
+
+	entry.Instrs = []ir.Instr{
+		{Op: ir.Ldi, Defs: []ir.Operand{ir.RegOp(r3)}, Uses: []ir.Operand{ir.ImmOp(0)}},
+		{Op: ir.Br, Uses: []ir.Operand{ir.RegOp(r3)}},
+	}
+	ir.AddEdge(entry, a)
+	ir.AddEdge(entry, bb)
+	// Path a: x defined into r1. Path b: x defined into r2.
+	a.Instrs = []ir.Instr{
+		{Op: ir.Ldi, Defs: []ir.Operand{ir.RegOp(r1)}, Uses: []ir.Operand{ir.ImmOp(1)},
+			OrigDefs: []ir.Temp{x}, OrigUses: []ir.Temp{ir.NoTemp}},
+		{Op: ir.Jmp},
+	}
+	ir.AddEdge(a, join)
+	bb.Instrs = []ir.Instr{
+		{Op: ir.Ldi, Defs: []ir.Operand{ir.RegOp(r2)}, Uses: []ir.Operand{ir.ImmOp(2)},
+			OrigDefs: []ir.Temp{x}, OrigUses: []ir.Temp{ir.NoTemp}},
+		{Op: ir.Jmp},
+	}
+	ir.AddEdge(bb, join)
+	// join uses x from r1: only valid along path a — must be rejected.
+	join.Instrs = []ir.Instr{
+		{Op: ir.Add, Defs: []ir.Operand{ir.RegOp(r3)}, Uses: []ir.Operand{ir.RegOp(r1), ir.ImmOp(0)},
+			OrigDefs: []ir.Temp{ir.NoTemp}, OrigUses: []ir.Temp{x, ir.NoTemp}},
+		{Op: ir.Ret},
+	}
+	if err := Verify(p, mach); err == nil {
+		t.Fatal("disagreeing join accepted")
+	}
+	// Fix path b with a resolution move r2→r1: now valid.
+	bb.Instrs = []ir.Instr{
+		bb.Instrs[0],
+		{Op: ir.Mov, Tag: ir.TagResolveMove, Defs: []ir.Operand{ir.RegOp(r1)}, Uses: []ir.Operand{ir.RegOp(r2)}},
+		{Op: ir.Jmp},
+	}
+	if err := Verify(p, mach); err != nil {
+		t.Fatalf("resolved join rejected: %v", err)
+	}
+}

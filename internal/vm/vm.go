@@ -1,0 +1,433 @@
+// Package vm interprets IR programs and counts dynamic instructions.
+//
+// It stands in for the paper's Digital Alpha hardware and the HALT
+// instrumentation tool (§3): Table 1's dynamic instruction counts, Table
+// 2's spill-code percentages and Figure 3's spill composition all come
+// from the per-tag counters this interpreter maintains. The same
+// interpreter executes both unallocated code (operands are temporaries,
+// each activation record holds a temp file — the "infinite register
+// machine" view of §2.2) and allocated code (operands are physical
+// registers and stack slots), which is how tests establish that an
+// allocation preserved program semantics.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/ir"
+	"repro/internal/target"
+)
+
+// Config controls one execution.
+type Config struct {
+	Mach *target.Machine
+	// Input is the byte stream the getc intrinsic consumes.
+	Input []byte
+	// MaxSteps bounds execution (0 means the 500M default).
+	MaxSteps int64
+	// Paranoid poisons caller-saved registers (except return registers)
+	// after every call returns, with a value derived from the step
+	// counter. Correctly allocated code never reads a poisoned value;
+	// code that keeps a live value in a caller-saved register across a
+	// call misbehaves immediately instead of silently working.
+	Paranoid bool
+}
+
+// Counters aggregates dynamic execution statistics.
+type Counters struct {
+	// Total counts every executed instruction.
+	Total int64
+	// ByTag breaks Total down by allocator tag; ByTag[ir.TagNone] is
+	// original program work, the rest is allocation overhead.
+	ByTag [ir.NumTags]int64
+	// MemOps counts memory instructions (program loads/stores plus
+	// spill traffic).
+	MemOps int64
+	// Cycles applies a simple fixed cost model (see cost table) so
+	// "run time" has a machine-independent analogue.
+	Cycles int64
+	// Calls counts procedure and intrinsic calls.
+	Calls int64
+}
+
+// SpillOverhead returns the dynamic count of allocator-inserted
+// instructions, excluding callee-save prologue/epilogue traffic (the
+// quantity behind Table 2, which counts "load, store, and move
+// instructions inserted for allocation candidates only").
+func (c *Counters) SpillOverhead() int64 {
+	return c.ByTag[ir.TagScanLoad] + c.ByTag[ir.TagScanStore] + c.ByTag[ir.TagScanMove] +
+		c.ByTag[ir.TagResolveLoad] + c.ByTag[ir.TagResolveStore] + c.ByTag[ir.TagResolveMove]
+}
+
+// SaveRestoreOverhead returns dynamic callee-save traffic.
+func (c *Counters) SaveRestoreOverhead() int64 {
+	return c.ByTag[ir.TagSave] + c.ByTag[ir.TagRestore]
+}
+
+// Result is the outcome of an execution.
+type Result struct {
+	Output   []byte
+	RetValue int64
+	Counters Counters
+}
+
+// costOf is the fixed cycle model: memory 3, multiply 4, divide 20,
+// floating divide 16, call 2, everything else 1.
+func costOf(op ir.Op) int64 {
+	switch op {
+	case ir.Ld, ir.St, ir.FLd, ir.FSt, ir.SpillLd, ir.SpillSt:
+		return 3
+	case ir.Mul:
+		return 4
+	case ir.Div, ir.Rem:
+		return 20
+	case ir.FDiv:
+		return 16
+	case ir.Call:
+		return 2
+	default:
+		return 1
+	}
+}
+
+type frame struct {
+	proc  *ir.Proc
+	temps []uint64
+	slots []uint64
+	block *ir.Block
+	idx   int
+}
+
+// ErrFuel reports that execution exceeded MaxSteps.
+var ErrFuel = errors.New("vm: fuel exhausted")
+
+type machine struct {
+	prog  *ir.Program
+	cfg   Config
+	regs  []uint64
+	mem   []uint64
+	in    []byte
+	inPos int
+	out   []byte
+	steps int64
+	max   int64
+	ctr   Counters
+}
+
+// Run executes the program from its main procedure.
+func Run(prog *ir.Program, cfg Config) (*Result, error) {
+	if cfg.Mach == nil {
+		return nil, errors.New("vm: Config.Mach is required")
+	}
+	m := &machine{
+		prog: prog,
+		cfg:  cfg,
+		regs: make([]uint64, cfg.Mach.NumRegs()),
+		mem:  make([]uint64, prog.MemWords),
+		in:   cfg.Input,
+		max:  cfg.MaxSteps,
+	}
+	if m.max == 0 {
+		m.max = 500_000_000
+	}
+	for a, v := range prog.MemInit {
+		m.mem[a] = uint64(v)
+	}
+	main := prog.Proc(prog.Main)
+	if main == nil {
+		return nil, fmt.Errorf("vm: no procedure %q", prog.Main)
+	}
+	if err := m.call(main, 0); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Output:   m.out,
+		RetValue: int64(m.regs[cfg.Mach.RetReg(target.ClassInt)]),
+		Counters: m.ctr,
+	}, nil
+}
+
+func (m *machine) call(p *ir.Proc, depth int) error {
+	if depth > 10_000 {
+		return fmt.Errorf("vm: call depth exceeded in %s", p.Name)
+	}
+	f := &frame{
+		proc:  p,
+		temps: make([]uint64, p.NumTemps()),
+		slots: make([]uint64, p.NumSlots),
+		block: p.Entry(),
+	}
+	for {
+		if f.idx >= len(f.block.Instrs) {
+			return fmt.Errorf("vm: %s: fell off block %s", p.Name, f.block.Name)
+		}
+		in := &f.block.Instrs[f.idx]
+		m.steps++
+		if m.steps > m.max {
+			return ErrFuel
+		}
+		m.ctr.Total++
+		m.ctr.ByTag[in.Tag]++
+		m.ctr.Cycles += costOf(in.Op)
+
+		switch in.Op {
+		case ir.Jmp:
+			f.block = f.block.Succs[0]
+			f.idx = 0
+			continue
+		case ir.Br:
+			if int64(m.read(f, in.Uses[0])) != 0 {
+				f.block = f.block.Succs[0]
+			} else {
+				f.block = f.block.Succs[1]
+			}
+			f.idx = 0
+			continue
+		case ir.Ret:
+			return nil
+		case ir.Call:
+			m.ctr.Calls++
+			if err := m.doCall(in, depth); err != nil {
+				return err
+			}
+			f.idx++
+			continue
+		}
+		if err := m.exec(f, in); err != nil {
+			return fmt.Errorf("vm: %s: block %s: %v: %w", p.Name, f.block.Name, in.Op, err)
+		}
+		f.idx++
+	}
+}
+
+func (m *machine) doCall(in *ir.Instr, depth int) error {
+	name := in.CalleeName()
+	if callee := m.prog.Proc(name); callee != nil {
+		if err := m.call(callee, depth+1); err != nil {
+			return err
+		}
+	} else if err := m.intrinsic(name); err != nil {
+		return err
+	}
+	if m.cfg.Paranoid {
+		m.poisonCallerSaved()
+	}
+	return nil
+}
+
+// poisonCallerSaved trashes caller-saved registers except return
+// registers, emulating an adversarial callee.
+func (m *machine) poisonCallerSaved() {
+	mach := m.cfg.Mach
+	keepInt := mach.RetReg(target.ClassInt)
+	keepFloat := mach.RetReg(target.ClassFloat)
+	for r := 0; r < mach.NumRegs(); r++ {
+		reg := target.Reg(r)
+		if !mach.CallerSaved(reg) || reg == keepInt || reg == keepFloat {
+			continue
+		}
+		m.regs[r] = 0xDEAD0000_00000000 | uint64(m.steps)
+	}
+}
+
+func (m *machine) read(f *frame, o ir.Operand) uint64 {
+	switch o.Kind {
+	case ir.KindTemp:
+		return f.temps[o.Temp]
+	case ir.KindReg:
+		return m.regs[o.Reg]
+	case ir.KindImm:
+		return uint64(o.Imm)
+	case ir.KindFImm:
+		return math.Float64bits(o.F)
+	case ir.KindSlot:
+		return f.slots[o.Imm]
+	}
+	panic(fmt.Sprintf("vm: unreadable operand kind %d", o.Kind))
+}
+
+func (m *machine) write(f *frame, o ir.Operand, v uint64) {
+	switch o.Kind {
+	case ir.KindTemp:
+		f.temps[o.Temp] = v
+	case ir.KindReg:
+		m.regs[o.Reg] = v
+	case ir.KindSlot:
+		f.slots[o.Imm] = v
+	default:
+		panic(fmt.Sprintf("vm: unwritable operand kind %d", o.Kind))
+	}
+}
+
+func b2i(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (m *machine) exec(f *frame, in *ir.Instr) error {
+	ri := func(i int) int64 { return int64(m.read(f, in.Uses[i])) }
+	rf := func(i int) float64 { return math.Float64frombits(m.read(f, in.Uses[i])) }
+	wi := func(v int64) { m.write(f, in.Defs[0], uint64(v)) }
+	wf := func(v float64) { m.write(f, in.Defs[0], math.Float64bits(v)) }
+
+	switch in.Op {
+	case ir.Nop:
+	case ir.Mov, ir.FMov, ir.SpillLd:
+		m.write(f, in.Defs[0], m.read(f, in.Uses[0]))
+		if in.Op == ir.SpillLd {
+			m.ctr.MemOps++
+		}
+	case ir.SpillSt:
+		m.write(f, in.Uses[1], m.read(f, in.Uses[0]))
+		m.ctr.MemOps++
+	case ir.Ldi:
+		wi(ri(0))
+	case ir.FLdi:
+		m.write(f, in.Defs[0], m.read(f, in.Uses[0]))
+	case ir.Add:
+		wi(ri(0) + ri(1))
+	case ir.Sub:
+		wi(ri(0) - ri(1))
+	case ir.Mul:
+		wi(ri(0) * ri(1))
+	case ir.Div:
+		if d := ri(1); d == 0 {
+			wi(0)
+		} else if ri(0) == math.MinInt64 && d == -1 {
+			wi(math.MinInt64)
+		} else {
+			wi(ri(0) / d)
+		}
+	case ir.Rem:
+		if d := ri(1); d == 0 {
+			wi(0)
+		} else if ri(0) == math.MinInt64 && d == -1 {
+			wi(0)
+		} else {
+			wi(ri(0) % d)
+		}
+	case ir.And:
+		wi(ri(0) & ri(1))
+	case ir.Or:
+		wi(ri(0) | ri(1))
+	case ir.Xor:
+		wi(ri(0) ^ ri(1))
+	case ir.Shl:
+		wi(ri(0) << (uint64(ri(1)) & 63))
+	case ir.Shr:
+		wi(ri(0) >> (uint64(ri(1)) & 63))
+	case ir.Neg:
+		wi(-ri(0))
+	case ir.Not:
+		wi(^ri(0))
+	case ir.CmpEQ:
+		wi(int64(b2i(ri(0) == ri(1))))
+	case ir.CmpNE:
+		wi(int64(b2i(ri(0) != ri(1))))
+	case ir.CmpLT:
+		wi(int64(b2i(ri(0) < ri(1))))
+	case ir.CmpLE:
+		wi(int64(b2i(ri(0) <= ri(1))))
+	case ir.CmpGT:
+		wi(int64(b2i(ri(0) > ri(1))))
+	case ir.CmpGE:
+		wi(int64(b2i(ri(0) >= ri(1))))
+	case ir.FAdd:
+		wf(rf(0) + rf(1))
+	case ir.FSub:
+		wf(rf(0) - rf(1))
+	case ir.FMul:
+		wf(rf(0) * rf(1))
+	case ir.FDiv:
+		wf(rf(0) / rf(1))
+	case ir.FNeg:
+		wf(-rf(0))
+	case ir.FCmpEQ:
+		wi(int64(b2i(rf(0) == rf(1))))
+	case ir.FCmpLT:
+		wi(int64(b2i(rf(0) < rf(1))))
+	case ir.FCmpLE:
+		wi(int64(b2i(rf(0) <= rf(1))))
+	case ir.CvtIF:
+		wf(float64(ri(0)))
+	case ir.CvtFI:
+		v := rf(0)
+		if math.IsNaN(v) {
+			wi(0)
+		} else if v >= math.MaxInt64 {
+			wi(math.MaxInt64)
+		} else if v <= math.MinInt64 {
+			wi(math.MinInt64)
+		} else {
+			wi(int64(v))
+		}
+	case ir.Ld, ir.FLd:
+		addr := ri(0) + ri(1)
+		if addr < 0 || addr >= int64(len(m.mem)) {
+			return fmt.Errorf("load address %d out of range [0,%d)", addr, len(m.mem))
+		}
+		m.write(f, in.Defs[0], m.mem[addr])
+		m.ctr.MemOps++
+	case ir.St, ir.FSt:
+		addr := ri(1) + ri(2)
+		if addr < 0 || addr >= int64(len(m.mem)) {
+			return fmt.Errorf("store address %d out of range [0,%d)", addr, len(m.mem))
+		}
+		m.mem[addr] = m.read(f, in.Uses[0])
+		m.ctr.MemOps++
+	default:
+		return fmt.Errorf("unimplemented opcode")
+	}
+	return nil
+}
+
+// intrinsic implements the runtime the benchmark programs call into. All
+// intrinsics follow the calling convention: arguments in parameter
+// registers, results in the return register of the appropriate class.
+func (m *machine) intrinsic(name string) error {
+	mach := m.cfg.Mach
+	iArg := func(i int) int64 { return int64(m.regs[mach.ParamRegs(target.ClassInt)[i]]) }
+	fArg := func(i int) float64 {
+		return math.Float64frombits(m.regs[mach.ParamRegs(target.ClassFloat)[i]])
+	}
+	iRet := func(v int64) { m.regs[mach.RetReg(target.ClassInt)] = uint64(v) }
+	fRet := func(v float64) { m.regs[mach.RetReg(target.ClassFloat)] = math.Float64bits(v) }
+
+	switch name {
+	case "getc":
+		// Read one byte of input; -1 at end of stream.
+		if m.inPos >= len(m.in) {
+			iRet(-1)
+		} else {
+			iRet(int64(m.in[m.inPos]))
+			m.inPos++
+		}
+	case "putc":
+		m.out = append(m.out, byte(iArg(0)))
+	case "puti":
+		m.out = strconv.AppendInt(m.out, iArg(0), 10)
+		m.out = append(m.out, '\n')
+	case "putf":
+		m.out = strconv.AppendFloat(m.out, fArg(0), 'g', 6, 64)
+		m.out = append(m.out, '\n')
+	case "fsqrt":
+		fRet(math.Sqrt(fArg(0)))
+	case "fexp":
+		fRet(math.Exp(fArg(0)))
+	case "flog":
+		v := fArg(0)
+		if v <= 0 {
+			fRet(0)
+		} else {
+			fRet(math.Log(v))
+		}
+	default:
+		return fmt.Errorf("vm: unknown intrinsic %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package vm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/target"
+)
+
+func run(t *testing.T, build func(b *ir.Builder, pb *ir.ProcBuilder), input []byte) *Result {
+	t.Helper()
+	mach := target.Tiny(8, 4)
+	b := ir.NewBuilder(mach, 32)
+	pb := b.NewProc("main")
+	build(b, pb)
+	if err := ir.ValidateProgram(b.Prog, mach); err != nil {
+		t.Fatalf("invalid program: %v", err)
+	}
+	res, err := Run(b.Prog, Config{Mach: mach, Input: input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestIntArithmetic(t *testing.T) {
+	res := run(t, func(b *ir.Builder, pb *ir.ProcBuilder) {
+		x := pb.IntTemp("x")
+		y := pb.IntTemp("y")
+		pb.Ldi(x, 7)
+		pb.Op2(ir.Mul, y, ir.TempOp(x), ir.ImmOp(6))    // 42
+		pb.Op2(ir.Sub, y, ir.TempOp(y), ir.ImmOp(2))    // 40
+		pb.Op2(ir.Div, y, ir.TempOp(y), ir.ImmOp(3))    // 13
+		pb.Op2(ir.Rem, y, ir.TempOp(y), ir.ImmOp(5))    // 3
+		pb.Op2(ir.Shl, y, ir.TempOp(y), ir.ImmOp(4))    // 48
+		pb.Op2(ir.Xor, y, ir.TempOp(y), ir.ImmOp(0xff)) // 207
+		pb.Ret(y)
+	}, nil)
+	if res.RetValue != 207 {
+		t.Fatalf("ret = %d, want 207", res.RetValue)
+	}
+}
+
+func TestDivRemByZeroDefined(t *testing.T) {
+	res := run(t, func(b *ir.Builder, pb *ir.ProcBuilder) {
+		x := pb.IntTemp("x")
+		z := pb.IntTemp("z")
+		q := pb.IntTemp("q")
+		r := pb.IntTemp("r")
+		pb.Ldi(x, 99)
+		pb.Ldi(z, 0)
+		pb.Op2(ir.Div, q, ir.TempOp(x), ir.TempOp(z))
+		pb.Op2(ir.Rem, r, ir.TempOp(x), ir.TempOp(z))
+		pb.Op2(ir.Add, q, ir.TempOp(q), ir.TempOp(r))
+		pb.Ret(q)
+	}, nil)
+	if res.RetValue != 0 {
+		t.Fatalf("div/rem by zero = %d, want 0", res.RetValue)
+	}
+}
+
+func TestMinInt64Division(t *testing.T) {
+	res := run(t, func(b *ir.Builder, pb *ir.ProcBuilder) {
+		x := pb.IntTemp("x")
+		m := pb.IntTemp("m")
+		pb.Ldi(x, math.MinInt64)
+		pb.Ldi(m, -1)
+		pb.Op2(ir.Div, x, ir.TempOp(x), ir.TempOp(m))
+		pb.Ret(x)
+	}, nil)
+	if res.RetValue != math.MinInt64 {
+		t.Fatalf("MinInt64/-1 = %d", res.RetValue)
+	}
+}
+
+func TestFloatOpsAndConversion(t *testing.T) {
+	res := run(t, func(b *ir.Builder, pb *ir.ProcBuilder) {
+		f := pb.FloatTemp("f")
+		g := pb.FloatTemp("g")
+		r := pb.IntTemp("r")
+		pb.FLdi(f, 2.5)
+		pb.FLdi(g, 4.0)
+		pb.Op2(ir.FMul, f, ir.TempOp(f), ir.TempOp(g)) // 10
+		pb.Op2(ir.FAdd, f, ir.TempOp(f), ir.FImmOp(0.75))
+		pb.Op1(ir.CvtFI, r, ir.TempOp(f)) // 10
+		pb.Ret(r)
+	}, nil)
+	if res.RetValue != 10 {
+		t.Fatalf("float chain = %d, want 10", res.RetValue)
+	}
+}
+
+func TestMemoryAndBounds(t *testing.T) {
+	res := run(t, func(b *ir.Builder, pb *ir.ProcBuilder) {
+		x := pb.IntTemp("x")
+		y := pb.IntTemp("y")
+		pb.Ldi(x, 123)
+		pb.St(ir.TempOp(x), ir.ImmOp(5), 2) // mem[7] = 123
+		pb.Ld(y, ir.ImmOp(3), 4)            // y = mem[7]
+		pb.Ret(y)
+	}, nil)
+	if res.RetValue != 123 {
+		t.Fatalf("mem roundtrip = %d", res.RetValue)
+	}
+
+	mach := target.Tiny(8, 4)
+	b := ir.NewBuilder(mach, 4)
+	pb := b.NewProc("main")
+	x := pb.IntTemp("x")
+	pb.Ld(x, ir.ImmOp(100), 0)
+	pb.Ret(x)
+	if _, err := Run(b.Prog, Config{Mach: mach}); err == nil {
+		t.Fatal("out-of-bounds load not rejected")
+	}
+}
+
+func TestIntrinsicsIO(t *testing.T) {
+	res := run(t, func(b *ir.Builder, pb *ir.ProcBuilder) {
+		c1 := pb.IntTemp("c1")
+		c2 := pb.IntTemp("c2")
+		c3 := pb.IntTemp("c3")
+		pb.Call("getc", c1)
+		pb.Call("getc", c2)
+		pb.Call("getc", c3) // EOF: -1
+		pb.Call("putc", ir.NoTemp, ir.TempOp(c1))
+		pb.Call("puti", ir.NoTemp, ir.TempOp(c3))
+		sum := pb.IntTemp("sum")
+		pb.Op2(ir.Add, sum, ir.TempOp(c1), ir.TempOp(c2))
+		pb.Ret(sum)
+	}, []byte("AB"))
+	if string(res.Output) != "A-1\n" {
+		t.Fatalf("output = %q", res.Output)
+	}
+	if res.RetValue != 'A'+'B' {
+		t.Fatalf("ret = %d", res.RetValue)
+	}
+	if res.Counters.Calls != 5 {
+		t.Fatalf("calls = %d", res.Counters.Calls)
+	}
+}
+
+func TestFsqrt(t *testing.T) {
+	res := run(t, func(b *ir.Builder, pb *ir.ProcBuilder) {
+		f := pb.FloatTemp("f")
+		s := pb.FloatTemp("s")
+		r := pb.IntTemp("r")
+		pb.FLdi(f, 81)
+		pb.Call("fsqrt", s, ir.TempOp(f))
+		pb.Op1(ir.CvtFI, r, ir.TempOp(s))
+		pb.Ret(r)
+	}, nil)
+	if res.RetValue != 9 {
+		t.Fatalf("fsqrt(81) = %d", res.RetValue)
+	}
+}
+
+func TestProcedureCallAndRecursionLimit(t *testing.T) {
+	mach := target.Tiny(8, 4)
+	b := ir.NewBuilder(mach, 8)
+	{
+		pb := b.NewProc("dbl", target.ClassInt)
+		x := pb.P.Params[0]
+		r := pb.IntTemp("r")
+		pb.Op2(ir.Add, r, ir.TempOp(x), ir.TempOp(x))
+		pb.Ret(r)
+	}
+	pb := b.NewProc("main")
+	v := pb.IntTemp("v")
+	pb.Call("dbl", v, ir.ImmOp(21))
+	pb.Ret(v)
+	res, err := Run(b.Prog, Config{Mach: mach})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RetValue != 42 {
+		t.Fatalf("dbl(21) = %d", res.RetValue)
+	}
+
+	// Infinite recursion must hit the depth limit, not hang.
+	b2 := ir.NewBuilder(mach, 8)
+	pb2 := b2.NewProc("main")
+	r := pb2.IntTemp("r")
+	pb2.Call("main", r)
+	pb2.Ret(r)
+	if _, err := Run(b2.Prog, Config{Mach: mach}); err == nil {
+		t.Fatal("unbounded recursion not rejected")
+	}
+}
+
+func TestFuelLimit(t *testing.T) {
+	mach := target.Tiny(8, 4)
+	b := ir.NewBuilder(mach, 8)
+	pb := b.NewProc("main")
+	x := pb.IntTemp("x")
+	pb.Ldi(x, 0)
+	loop := pb.Block("loop")
+	pb.Jmp(loop)
+	pb.StartBlock(loop)
+	pb.Op2(ir.Add, x, ir.TempOp(x), ir.ImmOp(1))
+	pb.Jmp(loop)
+	_, err := Run(b.Prog, Config{Mach: mach, MaxSteps: 1000})
+	if err == nil {
+		t.Fatal("infinite loop not stopped by fuel")
+	}
+}
+
+func TestCountersByTag(t *testing.T) {
+	mach := target.Tiny(8, 4)
+	b := ir.NewBuilder(mach, 8)
+	pb := b.NewProc("main")
+	x := pb.IntTemp("x")
+	pb.Ldi(x, 5)
+	// Hand-inserted spill pair with tags, as an allocator would emit.
+	pb.P.NewSlot()
+	pb.Emit(ir.Instr{Op: ir.SpillSt, Tag: ir.TagScanStore,
+		Uses: []ir.Operand{ir.TempOp(x), ir.SlotOp(0, x)}})
+	pb.Emit(ir.Instr{Op: ir.SpillLd, Tag: ir.TagResolveLoad,
+		Defs: []ir.Operand{ir.TempOp(x)}, Uses: []ir.Operand{ir.SlotOp(0, x)}})
+	pb.Ret(x)
+	res, err := Run(b.Prog, Config{Mach: mach})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.ByTag[ir.TagScanStore] != 1 || res.Counters.ByTag[ir.TagResolveLoad] != 1 {
+		t.Fatalf("tag counters wrong: %v", res.Counters.ByTag)
+	}
+	if res.Counters.SpillOverhead() != 2 {
+		t.Fatalf("spill overhead = %d", res.Counters.SpillOverhead())
+	}
+	if res.Counters.MemOps < 2 {
+		t.Fatalf("memops = %d", res.Counters.MemOps)
+	}
+	if res.RetValue != 5 {
+		t.Fatalf("ret = %d", res.RetValue)
+	}
+}
+
+func TestParanoidPoisonsCallerSaved(t *testing.T) {
+	// A program that (illegally, at machine level) keeps a value in a
+	// caller-saved register across a call must break under Paranoid.
+	mach := target.Tiny(8, 4)
+	b := ir.NewBuilder(mach, 8)
+	pb := b.NewProc("main")
+	scratch := mach.CallerSavedRegs(target.ClassInt)[3]
+	pb.Emit(ir.Instr{Op: ir.Ldi, Defs: []ir.Operand{ir.RegOp(scratch)}, Uses: []ir.Operand{ir.ImmOp(7)}})
+	x := pb.IntTemp("x")
+	pb.Call("getc", x)
+	y := pb.IntTemp("y")
+	pb.Emit(ir.Instr{Op: ir.Mov, Defs: []ir.Operand{ir.TempOp(y)}, Uses: []ir.Operand{ir.RegOp(scratch)}})
+	pb.Ret(y)
+
+	plain, err := Run(b.Prog, Config{Mach: mach})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.RetValue != 7 {
+		t.Fatalf("non-paranoid ret = %d", plain.RetValue)
+	}
+	par, err := Run(b.Prog, Config{Mach: mach, Paranoid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.RetValue == 7 {
+		t.Fatal("paranoid mode failed to poison the caller-saved register")
+	}
+}

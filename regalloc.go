@@ -1,0 +1,311 @@
+// Package regalloc is the public API of this repository: a reproduction
+// of "Quality and Speed in Linear-scan Register Allocation" (Traub,
+// Holloway, Smith; PLDI 1998).
+//
+// It exposes the IR and its builder, the machine descriptions, four
+// register allocators — the paper's second-chance binpacking, the
+// traditional two-pass binpacking it ablates against, George–Appel
+// iterated-register-coalescing graph coloring, and Poletto-style linear
+// scan — the bracketing optimization passes, a VM that executes both
+// unallocated and allocated code while counting dynamic instructions, and
+// an allocation verifier.
+//
+// The pipeline mirrors §3 of the paper: dead-code elimination, register
+// allocation, then a peephole pass that deletes collapsed moves.
+//
+//	mach := regalloc.Alpha()
+//	b := regalloc.NewBuilder(mach, 64)
+//	... build IR ...
+//	allocated, results, err := regalloc.AllocateProgram(b.Prog, mach, regalloc.DefaultOptions())
+//	out, err := regalloc.Execute(allocated, mach, input)
+package regalloc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/coloring"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/linearscan"
+	"repro/internal/opt"
+	"repro/internal/target"
+	"repro/internal/verify"
+	"repro/internal/vm"
+)
+
+// Re-exported IR and machine types. These aliases are the supported way
+// to name the internal types from outside the module.
+type (
+	// Program is a set of procedures plus global memory.
+	Program = ir.Program
+	// Proc is one procedure.
+	Proc = ir.Proc
+	// Block is a basic block.
+	Block = ir.Block
+	// Instr is one instruction.
+	Instr = ir.Instr
+	// Temp names a register candidate.
+	Temp = ir.Temp
+	// Operand is one instruction operand.
+	Operand = ir.Operand
+	// Builder builds programs.
+	Builder = ir.Builder
+	// ProcBuilder builds one procedure.
+	ProcBuilder = ir.ProcBuilder
+	// Printer renders IR textually.
+	Printer = ir.Printer
+
+	// Machine describes a register target.
+	Machine = target.Machine
+	// Reg is a physical register.
+	Reg = target.Reg
+	// Class is a register file.
+	Class = target.Class
+
+	// Result is a finished allocation with statistics.
+	Result = alloc.Result
+	// Stats describes what an allocation did.
+	Stats = alloc.Stats
+	// Allocator is the common allocator interface.
+	Allocator = alloc.Allocator
+
+	// BinpackOptions configures the binpacking allocator (the paper's
+	// §2 knobs: move optimization, early second chance, strict-linear
+	// consistency, eviction heuristic).
+	BinpackOptions = core.Options
+
+	// ExecResult is a VM execution outcome.
+	ExecResult = vm.Result
+	// ExecConfig configures VM execution.
+	ExecConfig = vm.Config
+	// Counters are the VM's dynamic instruction counters.
+	Counters = vm.Counters
+)
+
+// Re-exported constants and constructors.
+const (
+	ClassInt   = target.ClassInt
+	ClassFloat = target.ClassFloat
+	NoTemp     = ir.NoTemp
+)
+
+// Operand constructors.
+var (
+	TempOp = ir.TempOp
+	RegOp  = ir.RegOp
+	ImmOp  = ir.ImmOp
+	FImmOp = ir.FImmOp
+)
+
+// Alpha returns the Alpha-like machine used by the paper's experiments.
+func Alpha() *Machine { return target.Alpha() }
+
+// Tiny returns a small machine (useful to force spilling).
+func Tiny(nInt, nFloat int) *Machine { return target.Tiny(nInt, nFloat) }
+
+// NewBuilder returns a program builder for a machine.
+func NewBuilder(m *Machine, memWords int) *Builder { return ir.NewBuilder(m, memWords) }
+
+// Algorithm selects a register allocator.
+type Algorithm int
+
+const (
+	// SecondChance is the paper's contribution: second-chance
+	// binpacking (§2).
+	SecondChance Algorithm = iota
+	// TwoPass is traditional binpacking: whole lifetimes in a register
+	// or in memory (§3.1 ablation).
+	TwoPass
+	// Coloring is George–Appel iterated register coalescing.
+	Coloring
+	// LinearScan is the Poletto-style allocator (§4 related work).
+	LinearScan
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case SecondChance:
+		return "second-chance binpacking"
+	case TwoPass:
+		return "two-pass binpacking"
+	case Coloring:
+		return "graph coloring"
+	case LinearScan:
+		return "linear scan (Poletto)"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Options configure the allocation pipeline.
+type Options struct {
+	Algorithm Algorithm
+	// Binpack tunes the binpacking allocator; ignored by the others.
+	// The zero value is replaced by the paper's defaults.
+	Binpack BinpackOptions
+	// DCE runs dead-code elimination before allocation (§3 pipeline).
+	DCE bool
+	// Peephole deletes collapsed moves after allocation (§3 pipeline).
+	Peephole bool
+	// ForwardStores additionally runs local store-to-load forwarding on
+	// the allocated code (the §2.4 follow-on cleanup; off by default).
+	ForwardStores bool
+	// Verify runs the symbolic allocation verifier on every result.
+	Verify bool
+}
+
+// DefaultOptions mirrors the paper's experimental pipeline with the
+// second-chance allocator and verification enabled.
+func DefaultOptions() Options {
+	return Options{
+		Algorithm: SecondChance,
+		Binpack:   core.DefaultOptions(),
+		DCE:       true,
+		Peephole:  true,
+		Verify:    true,
+	}
+}
+
+// NewAllocator returns the allocator an Options selects.
+func NewAllocator(m *Machine, o Options) Allocator {
+	switch o.Algorithm {
+	case Coloring:
+		return coloring.New(m)
+	case LinearScan:
+		return linearscan.New(m)
+	case TwoPass:
+		bo := o.Binpack
+		bo.SecondChance = false
+		return core.New(m, bo)
+	default:
+		bo := o.Binpack
+		if !bo.SecondChance {
+			bo = core.DefaultOptions()
+		}
+		return core.New(m, bo)
+	}
+}
+
+// AllocateProc runs the full pipeline on one procedure and returns the
+// rewritten procedure with statistics. The input is not modified.
+func AllocateProc(p *Proc, m *Machine, o Options) (*Result, error) {
+	in := p
+	if o.DCE {
+		in = p.Clone()
+		opt.DeadCodeElim(in)
+	}
+	res, err := NewAllocator(m, o).Allocate(in)
+	if err != nil {
+		return nil, err
+	}
+	if o.Verify {
+		if err := verify.Verify(res.Proc, m); err != nil {
+			return nil, err
+		}
+	}
+	if o.ForwardStores {
+		opt.ForwardStores(res.Proc, m)
+	}
+	if o.Peephole {
+		opt.Peephole(res.Proc)
+	}
+	if err := ir.ValidateAllocated(res.Proc, m); err != nil {
+		return nil, fmt.Errorf("regalloc: invalid allocation for %s: %w", p.Name, err)
+	}
+	return res, nil
+}
+
+// AllocateProgram allocates every procedure of prog and returns the
+// allocated program plus per-procedure results (in prog.Procs order).
+func AllocateProgram(prog *Program, m *Machine, o Options) (*Program, []*Result, error) {
+	out := ir.NewProgram(prog.MemWords)
+	out.Main = prog.Main
+	for addr, v := range prog.MemInit {
+		out.SetMem(addr, v)
+	}
+	var results []*Result
+	for _, p := range prog.Procs {
+		res, err := AllocateProc(p, m, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+		out.AddProc(res.Proc)
+	}
+	return out, results, nil
+}
+
+// Execute runs a program (allocated or not) on the VM.
+func Execute(prog *Program, m *Machine, input []byte) (*ExecResult, error) {
+	return vm.Run(prog, vm.Config{Mach: m, Input: input})
+}
+
+// ExecuteParanoid runs an allocated program with caller-saved registers
+// poisoned at every call, which flushes out convention violations.
+func ExecuteParanoid(prog *Program, m *Machine, input []byte) (*ExecResult, error) {
+	return vm.Run(prog, vm.Config{Mach: m, Input: input, Paranoid: true})
+}
+
+// Verify checks an allocated procedure against its Orig annotations.
+func Verify(p *Proc, m *Machine) error { return verify.Verify(p, m) }
+
+// ValidateProgram checks the structural invariants of a source program.
+func ValidateProgram(prog *Program, m *Machine) error { return ir.ValidateProgram(prog, m) }
+
+// DumpProc renders a procedure with machine register names and spill
+// tags, for debugging and examples.
+func DumpProc(p *Proc, m *Machine) string {
+	return dumpWith(p, m)
+}
+
+func dumpWith(p *Proc, m *Machine) string {
+	pr := &ir.Printer{Mach: m, Tags: true}
+	var sb strings.Builder
+	pr.WriteProc(&sb, p)
+	return sb.String()
+}
+
+// Re-exported opcodes for building IR through the facade.
+const (
+	OpNop    = ir.Nop
+	OpMov    = ir.Mov
+	OpLdi    = ir.Ldi
+	OpAdd    = ir.Add
+	OpSub    = ir.Sub
+	OpMul    = ir.Mul
+	OpDiv    = ir.Div
+	OpRem    = ir.Rem
+	OpAnd    = ir.And
+	OpOr     = ir.Or
+	OpXor    = ir.Xor
+	OpShl    = ir.Shl
+	OpShr    = ir.Shr
+	OpNeg    = ir.Neg
+	OpNot    = ir.Not
+	OpCmpEQ  = ir.CmpEQ
+	OpCmpNE  = ir.CmpNE
+	OpCmpLT  = ir.CmpLT
+	OpCmpLE  = ir.CmpLE
+	OpCmpGT  = ir.CmpGT
+	OpCmpGE  = ir.CmpGE
+	OpFMov   = ir.FMov
+	OpFLdi   = ir.FLdi
+	OpFAdd   = ir.FAdd
+	OpFSub   = ir.FSub
+	OpFMul   = ir.FMul
+	OpFDiv   = ir.FDiv
+	OpFNeg   = ir.FNeg
+	OpFCmpEQ = ir.FCmpEQ
+	OpFCmpLT = ir.FCmpLT
+	OpFCmpLE = ir.FCmpLE
+	OpCvtIF  = ir.CvtIF
+	OpCvtFI  = ir.CvtFI
+	OpLd     = ir.Ld
+	OpSt     = ir.St
+	OpFLd    = ir.FLd
+	OpFSt    = ir.FSt
+)
+
+// IROp is an instruction opcode (re-export for facade users).
+type IROp = ir.Op
