@@ -8,11 +8,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
+	regalloc "repro"
 	"repro/internal/ir"
 	"repro/internal/progs"
-	"repro/internal/target"
 )
 
 func main() {
@@ -25,18 +24,9 @@ func main() {
 	)
 	flag.Parse()
 
-	var mach *target.Machine
-	if *machine == "alpha" {
-		mach = target.Alpha()
-	} else if rest, ok := strings.CutPrefix(*machine, "tiny:"); ok {
-		var ni, nf int
-		if _, err := fmt.Sscanf(rest, "%d,%d", &ni, &nf); err != nil {
-			fmt.Fprintln(os.Stderr, "irgen: bad -machine")
-			os.Exit(2)
-		}
-		mach = target.Tiny(ni, nf)
-	} else {
-		fmt.Fprintln(os.Stderr, "irgen: unknown -machine")
+	mach, err := regalloc.ParseMachine(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "irgen:", err)
 		os.Exit(2)
 	}
 

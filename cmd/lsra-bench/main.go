@@ -6,56 +6,140 @@
 //	lsra-bench -figure3    spill-code composition, normalized to binpacking
 //	lsra-bench -table3     allocation times vs. candidate counts
 //	lsra-bench -ablation   §3.1 two-pass comparison and feature ablations
+//	lsra-bench -alloc      per-benchmark engine allocation reports
 //	lsra-bench -all        everything
 //
 // Use -scale to shrink or grow the workloads (1.0 reproduces the default
-// experiment size).
+// experiment size). With -json, every selected section is emitted as one
+// machine-readable JSON object on stdout (the shape future PRs track in
+// BENCH_*.json); -alloc sections carry the engine's aggregate Report.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	regalloc "repro"
 	"repro/internal/experiments"
-	"repro/internal/target"
+	"repro/internal/progs"
 )
+
+// benchOutput is the -json document: one field per selected section.
+type benchOutput struct {
+	Table1    []experiments.Table1Row   `json:"table1,omitempty"`
+	Table2    []experiments.Table2Row   `json:"table2,omitempty"`
+	Figure3   []experiments.Figure3Row  `json:"figure3,omitempty"`
+	Table3    []experiments.Table3Row   `json:"table3,omitempty"`
+	Ablations []experiments.AblationRow `json:"ablations,omitempty"`
+	// Allocation holds one engine Report per suite benchmark.
+	Allocation []allocReport `json:"allocation,omitempty"`
+}
+
+// allocReport pairs a benchmark name with its engine Report.
+type allocReport struct {
+	Benchmark string           `json:"benchmark"`
+	Report    *regalloc.Report `json:"report"`
+}
 
 func main() {
 	var (
-		t1    = flag.Bool("table1", false, "regenerate Table 1")
-		t2    = flag.Bool("table2", false, "regenerate Table 2")
-		f3    = flag.Bool("figure3", false, "regenerate Figure 3 data")
-		t3    = flag.Bool("table3", false, "regenerate Table 3")
-		abl   = flag.Bool("ablation", false, "run the two-pass and feature ablations")
-		all   = flag.Bool("all", false, "run everything")
-		scale = flag.Float64("scale", 1.0, "workload scale multiplier")
+		t1      = flag.Bool("table1", false, "regenerate Table 1")
+		t2      = flag.Bool("table2", false, "regenerate Table 2")
+		f3      = flag.Bool("figure3", false, "regenerate Figure 3 data")
+		t3      = flag.Bool("table3", false, "regenerate Table 3")
+		abl     = flag.Bool("ablation", false, "run the two-pass and feature ablations")
+		allocF  = flag.Bool("alloc", false, "per-benchmark engine allocation reports")
+		all     = flag.Bool("all", false, "run everything")
+		scale   = flag.Float64("scale", 1.0, "workload scale multiplier")
+		jsonOut = flag.Bool("json", false, "emit the selected sections as JSON")
+		algo    = flag.String("algo", "binpack", "allocator for -alloc reports")
+		jobs    = flag.Int("jobs", 0, "parallel workers for -alloc (0 = all CPUs)")
 	)
 	flag.Parse()
 	if *all {
-		*t1, *t2, *f3, *t3, *abl = true, true, true, true, true
+		*t1, *t2, *f3, *t3, *abl, *allocF = true, true, true, true, true, true
 	}
-	if !*t1 && !*t2 && !*f3 && !*t3 && !*abl {
+	if !*t1 && !*t2 && !*f3 && !*t3 && !*abl && !*allocF {
 		flag.Usage()
 		os.Exit(2)
 	}
-	mach := target.Alpha()
+	mach := regalloc.Alpha()
 
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "lsra-bench:", err)
 		os.Exit(1)
 	}
 
+	var out benchOutput
+	var err error
 	if *t1 {
-		rows, err := experiments.Table1(mach, *scale)
+		if out.Table1, err = experiments.Table1(mach, *scale); err != nil {
+			die(err)
+		}
+	}
+	if *t2 {
+		if out.Table2, err = experiments.Table2(mach, *scale); err != nil {
+			die(err)
+		}
+	}
+	if *f3 {
+		if out.Figure3, err = experiments.Figure3(mach, *scale); err != nil {
+			die(err)
+		}
+	}
+	if *t3 {
+		if out.Table3, err = experiments.Table3(mach); err != nil {
+			die(err)
+		}
+	}
+	if *abl {
+		benches := []string{"wc", "eqntott", "li", "fpppp"}
+		if out.Ablations, err = experiments.Ablations(mach, benches, *scale); err != nil {
+			die(err)
+		}
+	}
+	if *allocF {
+		eng, err := regalloc.New(mach,
+			regalloc.WithAlgorithm(*algo),
+			regalloc.WithParallelism(*jobs))
 		if err != nil {
 			die(err)
 		}
+		for _, b := range progs.Suite() {
+			s := int(float64(b.DefaultScale) * *scale)
+			if s < 1 {
+				s = 1
+			}
+			prog := b.Build(mach, s)
+			_, rep, err := eng.AllocateProgram(context.Background(), prog)
+			if err != nil {
+				die(fmt.Errorf("%s: %w", b.Name, err))
+			}
+			out.Allocation = append(out.Allocation, allocReport{Benchmark: b.Name, Report: rep})
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&out); err != nil {
+			die(err)
+		}
+		return
+	}
+	printText(&out)
+}
+
+func printText(out *benchOutput) {
+	if out.Table1 != nil {
 		fmt.Println("Table 1: dynamic instruction counts and simulated cycles")
 		fmt.Println("(ratio > 1 means poorer binpacking code, as in the paper)")
 		fmt.Printf("%-10s %14s %14s %7s %14s %14s %7s\n",
 			"benchmark", "binpack", "coloring", "ratio", "bp-cycles", "gc-cycles", "ratio")
-		for _, r := range rows {
+		for _, r := range out.Table1 {
 			fmt.Printf("%-10s %14d %14d %7.3f %14d %14d %7.3f\n",
 				r.Benchmark, r.BinpackInstrs, r.ColoringInstrs, r.InstrRatio,
 				r.BinpackCycles, r.ColoringCycles, r.CycleRatio)
@@ -63,29 +147,21 @@ func main() {
 		fmt.Println()
 	}
 
-	if *t2 {
-		rows, err := experiments.Table2(mach, *scale)
-		if err != nil {
-			die(err)
-		}
+	if out.Table2 != nil {
 		fmt.Println("Table 2: percentage of dynamic instructions that are spill code")
 		fmt.Printf("%-10s %12s %12s\n", "benchmark", "binpack", "coloring")
-		for _, r := range rows {
+		for _, r := range out.Table2 {
 			fmt.Printf("%-10s %11.3f%% %11.3f%%\n", r.Benchmark, r.BinpackPct, r.ColoringPct)
 		}
 		fmt.Println()
 	}
 
-	if *f3 {
-		rows, err := experiments.Figure3(mach, *scale)
-		if err != nil {
-			die(err)
-		}
+	if out.Figure3 != nil {
 		fmt.Println("Figure 3: spill code composition (dynamic counts; 'norm' is")
 		fmt.Println("the bar height: total spill normalized to binpacking's total)")
 		fmt.Printf("%-12s %10s %10s %10s %10s %10s %10s %7s\n",
 			"bench-scheme", "ev.load", "ev.store", "ev.move", "rs.load", "rs.store", "rs.move", "norm")
-		for _, r := range rows {
+		for _, r := range out.Figure3 {
 			fmt.Printf("%-12s %10d %10d %10d %10d %10d %10d %7.3f\n",
 				r.Benchmark+"-"+r.Scheme,
 				r.EvictLoads, r.EvictStores, r.EvictMoves,
@@ -94,32 +170,37 @@ func main() {
 		fmt.Println()
 	}
 
-	if *t3 {
-		rows, err := experiments.Table3(mach)
-		if err != nil {
-			die(err)
-		}
+	if out.Table3 != nil {
 		fmt.Println("Table 3: allocation-core time (best of five) vs. candidates")
 		fmt.Printf("%-10s %12s %14s %14s %14s\n",
 			"module", "candidates", "iedges", "coloring", "binpacking")
-		for _, r := range rows {
+		for _, r := range out.Table3 {
 			fmt.Printf("%-10s %12d %14d %14s %14s\n",
 				r.Module, r.Candidates, r.InterferenceEdges, r.ColoringTime, r.BinpackTime)
 		}
 		fmt.Println()
 	}
 
-	if *abl {
-		rows, err := experiments.Ablations(mach, []string{"wc", "eqntott", "li", "fpppp"}, *scale)
-		if err != nil {
-			die(err)
-		}
+	if out.Ablations != nil {
 		fmt.Println("Ablations (§3.1 two-pass, §2.5 move optimizations, §2.6 strict")
 		fmt.Println("linearity); ratio is relative to the paper configuration")
 		fmt.Printf("%-10s %-34s %14s %12s %7s\n", "benchmark", "variant", "instrs", "spill", "ratio")
-		for _, r := range rows {
+		for _, r := range out.Ablations {
 			fmt.Printf("%-10s %-34s %14d %12d %7.3f\n",
 				r.Benchmark, r.Variant, r.Instrs, r.Spill, r.RatioToPaper)
+		}
+		fmt.Println()
+	}
+
+	if out.Allocation != nil {
+		fmt.Println("Allocation: engine aggregate per benchmark")
+		fmt.Printf("%-12s %-12s %8s %12s %10s %12s\n",
+			"benchmark", "algorithm", "procs", "candidates", "spilled", "wall")
+		for _, ar := range out.Allocation {
+			rep := ar.Report
+			fmt.Printf("%-12s %-12s %8d %12d %10d %12v\n",
+				ar.Benchmark, rep.Algorithm, len(rep.Procs),
+				rep.Totals.Candidates, rep.Totals.SpilledTemps, rep.WallTime.Round(0))
 		}
 	}
 }

@@ -7,12 +7,14 @@
 //	lsra -prog fpppp -algo twopass -scale 2
 //	lsra -file prog.ir -algo binpack -dump
 //
-// Algorithms: binpack (second-chance), twopass, coloring, linearscan.
-// -file reads the textual IR form that cmd/irgen emits (see
-// internal/ir.ParseProgram for the grammar).
+// -algo accepts any registered allocator name (run with -algo help to
+// list them); the built-ins are binpack (second-chance), twopass,
+// coloring and linearscan. -file reads the textual IR form that
+// cmd/irgen emits (see internal/ir.ParseProgram for the grammar).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +23,6 @@ import (
 	regalloc "repro"
 	"repro/internal/ir"
 	"repro/internal/progs"
-	"repro/internal/target"
 )
 
 func main() {
@@ -29,15 +30,21 @@ func main() {
 		progName = flag.String("prog", "", "built-in workload (alvinn doduc eqntott espresso fpppp li tomcatv compress m88ksim sort wc)")
 		file     = flag.String("file", "", "read a textual IR program from this file instead of -prog")
 		random   = flag.Int64("random", -1, "generate a random program with this seed instead of -prog")
-		algo     = flag.String("algo", "binpack", "binpack | twopass | coloring | linearscan")
+		algo     = flag.String("algo", "binpack", "allocator name ('help' lists the registry)")
 		machine  = flag.String("machine", "alpha", "alpha | tiny:<ints>,<floats>")
 		scale    = flag.Int("scale", 1, "workload scale")
 		dump     = flag.Bool("dump", false, "print the allocated code")
 		run      = flag.Bool("run", true, "execute and report dynamic counts")
+		jobs     = flag.Int("jobs", 0, "parallel allocation workers (0 = all CPUs)")
 	)
 	flag.Parse()
 
-	mach, err := parseMachine(*machine)
+	if *algo == "help" {
+		fmt.Println("registered allocators:", strings.Join(regalloc.Algorithms(), " "))
+		return
+	}
+
+	mach, err := regalloc.ParseMachine(*machine)
 	if err != nil {
 		die(err)
 	}
@@ -76,30 +83,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := regalloc.DefaultOptions()
-	switch *algo {
-	case "binpack":
-		opts.Algorithm = regalloc.SecondChance
-	case "twopass":
-		opts.Algorithm = regalloc.TwoPass
-	case "coloring":
-		opts.Algorithm = regalloc.Coloring
-	case "linearscan":
-		opts.Algorithm = regalloc.LinearScan
-	default:
-		die(fmt.Errorf("unknown algorithm %q", *algo))
-	}
-
-	allocated, results, err := regalloc.AllocateProgram(prog, mach, opts)
+	eng, err := regalloc.New(mach,
+		regalloc.WithAlgorithm(*algo),
+		regalloc.WithParallelism(*jobs))
 	if err != nil {
 		die(err)
 	}
 
-	fmt.Printf("allocator: %v on %s\n", opts.Algorithm, mach.Name)
-	for i, p := range prog.Procs {
-		st := results[i].Stats
+	allocated, report, err := eng.AllocateProgram(context.Background(), prog)
+	if err != nil {
+		die(err)
+	}
+
+	fmt.Printf("allocator: %s on %s (%d workers, %v wall)\n",
+		eng.Algorithm(), mach.Name, report.Parallelism, report.WallTime.Round(0))
+	for _, pr := range report.Procs {
+		st := pr.Stats
 		fmt.Printf("proc %-12s candidates=%-5d spilled=%-4d callee-saved=%-2d core-time=%v\n",
-			p.Name, st.Candidates, st.SpilledTemps, st.UsedCalleeSaved, st.AllocTime)
+			pr.Proc, st.Candidates, st.SpilledTemps, st.UsedCalleeSaved, st.AllocTime)
 		fmt.Printf("  inserted:")
 		for tag := ir.Tag(1); int(tag) < ir.NumTags; tag++ {
 			if n := st.Inserted[tag]; n > 0 {
@@ -132,20 +133,6 @@ func main() {
 		}
 		fmt.Printf("output matches reference (%d bytes, ret %d)\n", len(out.Output), out.RetValue)
 	}
-}
-
-func parseMachine(s string) (*regalloc.Machine, error) {
-	if s == "alpha" {
-		return regalloc.Alpha(), nil
-	}
-	if rest, ok := strings.CutPrefix(s, "tiny:"); ok {
-		var ni, nf int
-		if _, err := fmt.Sscanf(rest, "%d,%d", &ni, &nf); err != nil {
-			return nil, fmt.Errorf("bad machine %q (want tiny:<ints>,<floats>)", s)
-		}
-		return target.Tiny(ni, nf), nil
-	}
-	return nil, fmt.Errorf("unknown machine %q", s)
 }
 
 func die(err error) {

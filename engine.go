@@ -1,0 +1,350 @@
+package regalloc
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/verify"
+)
+
+// Engine is a reusable, concurrency-safe allocation pipeline for one
+// machine. Construct it once with New and use it for any number of
+// procedures or programs: each worker goroutine draws a pooled allocator
+// instance whose scratch buffers persist across allocations, so the
+// batch hot path stops re-allocating scan state per procedure.
+type Engine struct {
+	mach *Machine
+
+	algorithm     string
+	binpack       BinpackOptions
+	binpackSet    bool
+	dce           bool
+	peephole      bool
+	forwardStores bool
+	verify        bool
+	parallelism   int
+	observer      Observer
+
+	factory alloc.Factory
+	pool    sync.Pool // of Allocator instances, one per concurrent worker
+	obsMu   sync.Mutex
+}
+
+// Option configures an Engine at construction time.
+type Option func(*Engine) error
+
+// WithAlgorithm selects the allocator by registry name (see Algorithms
+// for the available set; the built-ins are "binpack", "twopass",
+// "coloring" and "linearscan"). The default is "binpack", the paper's
+// second-chance allocator.
+func WithAlgorithm(name string) Option {
+	return func(e *Engine) error {
+		e.algorithm = name
+		return nil
+	}
+}
+
+// WithBinpack tunes the binpacking allocator family. It applies only to
+// the "binpack" and "twopass" algorithms and is ignored by every other;
+// the SecondChance field is forced to match the selected algorithm.
+func WithBinpack(o BinpackOptions) Option {
+	return func(e *Engine) error {
+		e.binpack = o
+		e.binpackSet = true
+		return nil
+	}
+}
+
+// WithDCE toggles dead-code elimination before allocation (§3 pipeline;
+// on by default).
+func WithDCE(on bool) Option {
+	return func(e *Engine) error {
+		e.dce = on
+		return nil
+	}
+}
+
+// WithPeephole toggles the post-allocation peephole pass that deletes
+// collapsed moves (§3 pipeline; on by default).
+func WithPeephole(on bool) Option {
+	return func(e *Engine) error {
+		e.peephole = on
+		return nil
+	}
+}
+
+// WithForwardStores toggles local store-to-load forwarding on the
+// allocated code (the §2.4 follow-on cleanup; off by default).
+func WithForwardStores(on bool) Option {
+	return func(e *Engine) error {
+		e.forwardStores = on
+		return nil
+	}
+}
+
+// WithVerify toggles the symbolic allocation verifier on every result
+// (on by default).
+func WithVerify(on bool) Option {
+	return func(e *Engine) error {
+		e.verify = on
+		return nil
+	}
+}
+
+// WithParallelism bounds the worker pool AllocateProgram fans
+// procedures out over. Values below 1 select runtime.GOMAXPROCS(0),
+// which is also the default. Results are deterministic regardless of
+// the parallelism level.
+func WithParallelism(n int) Option {
+	return func(e *Engine) error {
+		if n < 1 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		e.parallelism = n
+		return nil
+	}
+}
+
+// WithObserver installs a hook that receives one Event per procedure as
+// AllocateProgram completes it. Events are delivered serially (the
+// engine holds a lock), but under parallelism they may arrive out of
+// input order; use Event.Index to correlate. The hook must not call
+// back into the engine.
+func WithObserver(fn Observer) Option {
+	return func(e *Engine) error {
+		e.observer = fn
+		return nil
+	}
+}
+
+// Observer receives per-procedure progress events from AllocateProgram.
+type Observer func(Event)
+
+// Event describes one allocated (or failed) procedure.
+type Event struct {
+	// Proc is the procedure name; Index its position in prog.Procs.
+	Proc  string
+	Index int
+	// Stats is the allocation's statistics (zero when Err is set).
+	Stats Stats
+	// Elapsed is the wall time of this procedure's full pipeline.
+	Elapsed time.Duration
+	// Err is the pipeline error, if the procedure failed.
+	Err error
+}
+
+// ProcReport is one procedure's slice of a Report.
+type ProcReport struct {
+	Proc    string        `json:"proc"`
+	Stats   Stats         `json:"stats"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Report aggregates one AllocateProgram run: per-procedure statistics in
+// input order, their totals, and the batch wall time.
+type Report struct {
+	Algorithm   string        `json:"algorithm"`
+	Machine     string        `json:"machine"`
+	Parallelism int           `json:"parallelism"`
+	Procs       []ProcReport  `json:"procs"`
+	Totals      Stats         `json:"totals"`
+	WallTime    time.Duration `json:"wall_time_ns"`
+}
+
+// New constructs an Engine for a machine. With no options it mirrors
+// the paper's experimental pipeline: second-chance binpacking with DCE,
+// peephole and verification on, fanning batches out over
+// runtime.GOMAXPROCS(0) workers.
+func New(mach *Machine, opts ...Option) (*Engine, error) {
+	if mach == nil {
+		return nil, fmt.Errorf("regalloc: New: nil machine")
+	}
+	e := &Engine{
+		mach:        mach,
+		algorithm:   SecondChance.Name(),
+		dce:         true,
+		peephole:    true,
+		verify:      true,
+		parallelism: runtime.GOMAXPROCS(0),
+	}
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o(e); err != nil {
+			return nil, err
+		}
+	}
+	switch e.algorithm {
+	case "binpack", "twopass":
+		bo := core.DefaultOptions()
+		if e.binpackSet {
+			bo = e.binpack
+		}
+		bo.SecondChance = e.algorithm == "binpack"
+		e.factory = func(m *Machine) Allocator { return core.New(m, bo) }
+	default:
+		f, ok := alloc.Lookup(e.algorithm)
+		if !ok {
+			return nil, fmt.Errorf("regalloc: unknown algorithm %q (have %v)", e.algorithm, Algorithms())
+		}
+		e.factory = f
+	}
+	e.pool.New = func() any { return e.factory(e.mach) }
+	return e, nil
+}
+
+// Machine returns the machine the engine allocates for.
+func (e *Engine) Machine() *Machine { return e.mach }
+
+// Algorithm returns the registry name of the engine's allocator.
+func (e *Engine) Algorithm() string { return e.algorithm }
+
+// AllocateProc runs the configured pipeline on one procedure and
+// returns the rewritten procedure with statistics. The input is not
+// modified. Safe for concurrent use.
+func (e *Engine) AllocateProc(p *Proc) (*Result, error) {
+	in := p
+	if e.dce {
+		in = p.Clone()
+		opt.DeadCodeElim(in)
+	}
+	a := e.pool.Get().(Allocator)
+	res, err := a.Allocate(in)
+	e.pool.Put(a)
+	if err != nil {
+		return nil, err
+	}
+	if e.verify {
+		if err := verify.Verify(res.Proc, e.mach); err != nil {
+			return nil, err
+		}
+	}
+	if e.forwardStores {
+		opt.ForwardStores(res.Proc, e.mach)
+	}
+	if e.peephole {
+		opt.Peephole(res.Proc)
+	}
+	if err := ir.ValidateAllocated(res.Proc, e.mach); err != nil {
+		return nil, fmt.Errorf("regalloc: invalid allocation for %s: %w", p.Name, err)
+	}
+	return res, nil
+}
+
+// AllocateProgram allocates every procedure of prog over the engine's
+// bounded worker pool and returns the allocated program plus an
+// aggregate report. Results are deterministic: procedures, report rows
+// and the output program are in prog.Procs order regardless of
+// parallelism, and on failure the error of the earliest failing
+// procedure is returned. Cancelling ctx stops the batch early with
+// ctx's error. The observer hook, if installed, sees every completed
+// procedure.
+func (e *Engine) AllocateProgram(ctx context.Context, prog *Program) (*Program, *Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	procs := prog.Procs
+	results := make([]*Result, len(procs))
+	elapsed := make([]time.Duration, len(procs))
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIndex = len(procs)
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < errIndex {
+			firstErr, errIndex = err, i
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	workers := e.parallelism
+	if workers > len(procs) {
+		workers = len(procs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain: the batch is already failing
+				}
+				procStart := time.Now()
+				res, err := e.AllocateProc(procs[i])
+				elapsed[i] = time.Since(procStart)
+				ev := Event{Proc: procs[i].Name, Index: i, Elapsed: elapsed[i], Err: err}
+				if err == nil {
+					results[i] = res
+					ev.Stats = res.Stats
+				}
+				e.observe(ev)
+				if err != nil {
+					fail(i, err)
+				}
+			}
+		}()
+	}
+	for i := range procs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	if err := context.Cause(ctx); err != nil {
+		return nil, nil, err
+	}
+
+	out := ir.NewProgram(prog.MemWords)
+	out.Main = prog.Main
+	for addr, v := range prog.MemInit {
+		out.SetMem(addr, v)
+	}
+	rep := &Report{
+		Algorithm:   e.algorithm,
+		Machine:     e.mach.Name,
+		Parallelism: workers,
+		Procs:       make([]ProcReport, 0, len(procs)),
+	}
+	for i, res := range results {
+		out.AddProc(res.Proc)
+		rep.Procs = append(rep.Procs, ProcReport{Proc: procs[i].Name, Stats: res.Stats, Elapsed: elapsed[i]})
+		rep.Totals.Add(res.Stats)
+	}
+	rep.WallTime = time.Since(start)
+	return out, rep, nil
+}
+
+// observe delivers one event to the observer hook, serialized so the
+// hook needs no locking of its own.
+func (e *Engine) observe(ev Event) {
+	if e.observer == nil {
+		return
+	}
+	e.obsMu.Lock()
+	defer e.obsMu.Unlock()
+	e.observer(ev)
+}

@@ -1,0 +1,465 @@
+package regalloc_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	regalloc "repro"
+	"repro/internal/progs"
+)
+
+// dumpProgram renders every allocated procedure, for byte-for-byte
+// determinism comparisons.
+func dumpProgram(prog *regalloc.Program, mach *regalloc.Machine) string {
+	var sb strings.Builder
+	for _, p := range prog.Procs {
+		sb.WriteString(regalloc.DumpProc(p, mach))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func TestRegistryBuiltins(t *testing.T) {
+	have := regalloc.Algorithms()
+	for _, want := range []string{"binpack", "coloring", "linearscan", "twopass"} {
+		found := false
+		for _, n := range have {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("built-in %q missing from registry %v", want, have)
+		}
+	}
+}
+
+// countingAllocator wraps a real allocator and counts Allocate calls, to
+// prove the engine routes through registered factories.
+type countingAllocator struct {
+	regalloc.Allocator
+	calls *atomic.Int64
+}
+
+func (c *countingAllocator) Allocate(p *regalloc.Proc) (*regalloc.Result, error) {
+	c.calls.Add(1)
+	return c.Allocator.Allocate(p)
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	var calls atomic.Int64
+	err := regalloc.Register("test-counting", func(m *regalloc.Machine) regalloc.Allocator {
+		return &countingAllocator{
+			Allocator: regalloc.NewAllocator(m, regalloc.DefaultOptions()),
+			calls:     &calls,
+		}
+	})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+
+	// Lookup via Algorithms.
+	found := false
+	for _, n := range regalloc.Algorithms() {
+		if n == "test-counting" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered name not listed in %v", regalloc.Algorithms())
+	}
+
+	// Duplicate registration must fail.
+	if err := regalloc.Register("test-counting", func(m *regalloc.Machine) regalloc.Allocator { return nil }); err == nil {
+		t.Fatal("duplicate Register succeeded")
+	}
+	// Empty name and nil factory must fail.
+	if err := regalloc.Register("", func(m *regalloc.Machine) regalloc.Allocator { return nil }); err == nil {
+		t.Fatal("empty-name Register succeeded")
+	}
+	if err := regalloc.Register("test-nil-factory", nil); err == nil {
+		t.Fatal("nil-factory Register succeeded")
+	}
+
+	// An engine resolves the custom name and drives the custom allocator.
+	mach := regalloc.Alpha()
+	eng, err := regalloc.New(mach, regalloc.WithAlgorithm("test-counting"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := progs.Named("wc").Build(mach, 1)
+	if _, _, err := eng.AllocateProgram(context.Background(), prog); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != int64(len(prog.Procs)) {
+		t.Fatalf("custom allocator saw %d calls, want %d", got, len(prog.Procs))
+	}
+}
+
+func TestEngineUnknownAlgorithm(t *testing.T) {
+	_, err := regalloc.New(regalloc.Alpha(), regalloc.WithAlgorithm("no-such-allocator"))
+	if err == nil {
+		t.Fatal("New accepted an unknown algorithm")
+	}
+	if !strings.Contains(err.Error(), "no-such-allocator") {
+		t.Fatalf("error %q does not name the algorithm", err)
+	}
+}
+
+func TestEngineNilMachine(t *testing.T) {
+	if _, err := regalloc.New(nil); err == nil {
+		t.Fatal("New accepted a nil machine")
+	}
+}
+
+// TestEngineOptionApplication checks that each functional option changes
+// the engine's observable behavior.
+func TestEngineOptionApplication(t *testing.T) {
+	mach := regalloc.Alpha()
+	prog := progs.Named("wc").Build(mach, 1)
+
+	// WithAlgorithm is reflected by Algorithm().
+	eng, err := regalloc.New(mach, regalloc.WithAlgorithm("coloring"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Algorithm() != "coloring" {
+		t.Fatalf("Algorithm() = %q, want coloring", eng.Algorithm())
+	}
+	if eng.Machine() != mach {
+		t.Fatal("Machine() does not return the construction machine")
+	}
+
+	// Defaults match the legacy DefaultOptions pipeline byte for byte.
+	defEng, err := regalloc.New(mach, regalloc.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotProg, _, err := defEng.AllocateProgram(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProg, _, err := regalloc.AllocateProgram(prog, mach, regalloc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dumpProgram(gotProg, mach) != dumpProgram(wantProg, mach) {
+		t.Fatal("default engine and legacy DefaultOptions pipeline disagree")
+	}
+
+	// WithPeephole(false) leaves collapsed moves in place: the dump must
+	// differ from the default pipeline on a workload with parameter
+	// moves.
+	noPeep, err := regalloc.New(mach, regalloc.WithPeephole(false), regalloc.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPeepProg, _, err := noPeep.AllocateProgram(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dumpProgram(noPeepProg, mach) == dumpProgram(gotProg, mach) {
+		t.Fatal("WithPeephole(false) had no effect")
+	}
+
+	// WithBinpack is honored: on a spill-heavy workload the strict-linear
+	// variant must match the legacy pipeline configured the same way,
+	// and differ from the engine's default configuration.
+	spilly := progs.Named("fpppp").Build(mach, 1)
+	strictOpts := regalloc.DefaultOptions().Binpack
+	strictOpts.StrictLinear = true
+	strictEng, err := regalloc.New(mach, regalloc.WithBinpack(strictOpts), regalloc.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strictProg, _, err := strictEng.AllocateProgram(context.Background(), spilly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyOpts := regalloc.DefaultOptions()
+	legacyOpts.Binpack = strictOpts
+	legacyStrict, _, err := regalloc.AllocateProgram(spilly, mach, legacyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dumpProgram(strictProg, mach) != dumpProgram(legacyStrict, mach) {
+		t.Fatal("WithBinpack(strict) disagrees with the equivalent legacy Options")
+	}
+	defSpilly, _, err := defEng.AllocateProgram(context.Background(), spilly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dumpProgram(strictProg, mach) == dumpProgram(defSpilly, mach) {
+		t.Fatal("WithBinpack(strict) had no effect")
+	}
+}
+
+// TestEngineParallelDeterminism is the acceptance criterion: allocating
+// the whole suite with 8 workers must produce byte-identical dumps to
+// the serial run. Run under -race this also exercises the engine's
+// concurrency safety.
+func TestEngineParallelDeterminism(t *testing.T) {
+	for _, mach := range []*regalloc.Machine{regalloc.Alpha(), regalloc.Tiny(8, 6)} {
+		for _, algo := range []string{"binpack", "twopass", "coloring", "linearscan"} {
+			serial, err := regalloc.New(mach, regalloc.WithAlgorithm(algo), regalloc.WithParallelism(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := regalloc.New(mach, regalloc.WithAlgorithm(algo), regalloc.WithParallelism(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range progs.Suite() {
+				prog := b.Build(mach, 1)
+				sProg, sRep, err := serial.AllocateProgram(context.Background(), prog)
+				if err != nil {
+					t.Fatalf("%s/%s/%s serial: %v", mach.Name, algo, b.Name, err)
+				}
+				pProg, pRep, err := parallel.AllocateProgram(context.Background(), prog)
+				if err != nil {
+					t.Fatalf("%s/%s/%s parallel: %v", mach.Name, algo, b.Name, err)
+				}
+				if ds, dp := dumpProgram(sProg, mach), dumpProgram(pProg, mach); ds != dp {
+					t.Fatalf("%s/%s/%s: parallel dump differs from serial", mach.Name, algo, b.Name)
+				}
+				if len(sRep.Procs) != len(pRep.Procs) {
+					t.Fatalf("%s/%s/%s: report row counts differ", mach.Name, algo, b.Name)
+				}
+				for i := range sRep.Procs {
+					if sRep.Procs[i].Proc != pRep.Procs[i].Proc {
+						t.Fatalf("%s/%s/%s: report order differs at %d", mach.Name, algo, b.Name, i)
+					}
+					if sRep.Procs[i].Stats.SpilledTemps != pRep.Procs[i].Stats.SpilledTemps {
+						t.Fatalf("%s/%s/%s: stats differ for %s", mach.Name, algo, b.Name, sRep.Procs[i].Proc)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEngineParallelDeterminismRandom stresses many-proc random programs
+// through one shared engine from multiple shapes.
+func TestEngineParallelDeterminismRandom(t *testing.T) {
+	mach := regalloc.Tiny(6, 4)
+	serial, err := regalloc.New(mach, regalloc.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := regalloc.New(mach, regalloc.WithParallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		prog := progs.Random(mach, progs.DefaultGen(seed))
+		sProg, _, err := serial.AllocateProgram(context.Background(), prog)
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		pProg, _, err := parallel.AllocateProgram(context.Background(), prog)
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		if dumpProgram(sProg, mach) != dumpProgram(pProg, mach) {
+			t.Fatalf("seed %d: parallel dump differs from serial", seed)
+		}
+	}
+
+	// A many-procedure module actually saturates the worker pool. The
+	// verifier stays off here, as in Table 3: module programs are
+	// compile-time workloads with structurally-possible use-before-def
+	// paths the conservative verifier rejects for whole-lifetime
+	// allocators (see ROADMAP open items).
+	alpha := regalloc.Alpha()
+	mod := progs.BuildModule(alpha, "det-module", 16, 60, 2).Prog
+	for _, algo := range []string{"binpack", "coloring"} {
+		s, err := regalloc.New(alpha, regalloc.WithAlgorithm(algo),
+			regalloc.WithParallelism(1), regalloc.WithVerify(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := regalloc.New(alpha, regalloc.WithAlgorithm(algo),
+			regalloc.WithParallelism(8), regalloc.WithVerify(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sProg, _, err := s.AllocateProgram(context.Background(), mod)
+		if err != nil {
+			t.Fatalf("module serial %s: %v", algo, err)
+		}
+		pProg, _, err := p.AllocateProgram(context.Background(), mod)
+		if err != nil {
+			t.Fatalf("module parallel %s: %v", algo, err)
+		}
+		if dumpProgram(sProg, alpha) != dumpProgram(pProg, alpha) {
+			t.Fatalf("module %s: parallel dump differs from serial", algo)
+		}
+	}
+}
+
+func TestEngineObserver(t *testing.T) {
+	mach := regalloc.Alpha()
+	prog := progs.Named("li").Build(mach, 1)
+
+	var events atomic.Int64
+	seen := make([]atomic.Bool, len(prog.Procs))
+	eng, err := regalloc.New(mach,
+		regalloc.WithParallelism(4),
+		regalloc.WithObserver(func(ev regalloc.Event) {
+			events.Add(1)
+			if ev.Err != nil {
+				t.Errorf("observer saw error for %s: %v", ev.Proc, ev.Err)
+			}
+			if ev.Index < 0 || ev.Index >= len(prog.Procs) {
+				t.Errorf("observer index %d out of range", ev.Index)
+				return
+			}
+			if seen[ev.Index].Swap(true) {
+				t.Errorf("observer saw index %d twice", ev.Index)
+			}
+			if prog.Procs[ev.Index].Name != ev.Proc {
+				t.Errorf("observer event %d names %q, want %q", ev.Index, ev.Proc, prog.Procs[ev.Index].Name)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := eng.AllocateProgram(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := events.Load(); got != int64(len(prog.Procs)) {
+		t.Fatalf("observer saw %d events, want %d", got, len(prog.Procs))
+	}
+	if rep.Totals.Candidates == 0 {
+		t.Fatal("report totals empty")
+	}
+	if rep.Algorithm != "binpack" || rep.Machine != mach.Name {
+		t.Fatalf("report header %q/%q wrong", rep.Algorithm, rep.Machine)
+	}
+}
+
+func TestEngineContextCancellation(t *testing.T) {
+	mach := regalloc.Alpha()
+	prog := progs.Named("li").Build(mach, 2)
+	eng, err := regalloc.New(mach, regalloc.WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the batch must fail fast
+	_, _, err = eng.AllocateProgram(ctx, prog)
+	if err == nil {
+		t.Fatal("cancelled AllocateProgram succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestLegacyWrappersStillWork pins the deprecated free functions to the
+// engine results.
+func TestLegacyWrappersStillWork(t *testing.T) {
+	mach := regalloc.Tiny(8, 4)
+	prog := progs.Random(mach, progs.DefaultGen(3))
+	for _, algo := range []regalloc.Algorithm{
+		regalloc.SecondChance, regalloc.TwoPass, regalloc.Coloring, regalloc.LinearScan,
+	} {
+		opts := regalloc.DefaultOptions()
+		opts.Algorithm = algo
+		legacyProg, results, err := regalloc.AllocateProgram(prog, mach, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if len(results) != len(prog.Procs) {
+			t.Fatalf("%v: %d results for %d procs", algo, len(results), len(prog.Procs))
+		}
+		eng, err := regalloc.New(mach,
+			regalloc.WithAlgorithm(algo.Name()), regalloc.WithParallelism(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		engProg, _, err := eng.AllocateProgram(context.Background(), prog)
+		if err != nil {
+			t.Fatalf("%v engine: %v", algo, err)
+		}
+		if dumpProgram(legacyProg, mach) != dumpProgram(engProg, mach) {
+			t.Fatalf("%v: legacy wrapper and engine disagree", algo)
+		}
+		if a := regalloc.NewAllocator(mach, opts); a == nil {
+			t.Fatalf("%v: NewAllocator returned nil", algo)
+		}
+		res, err := regalloc.AllocateProc(prog.Procs[0], mach, opts)
+		if err != nil || res == nil {
+			t.Fatalf("%v: AllocateProc: %v", algo, err)
+		}
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	for _, tc := range []struct {
+		a    regalloc.Algorithm
+		want string
+	}{
+		{regalloc.SecondChance, "binpack"},
+		{regalloc.TwoPass, "twopass"},
+		{regalloc.Coloring, "coloring"},
+		{regalloc.LinearScan, "linearscan"},
+	} {
+		if got := tc.a.Name(); got != tc.want {
+			t.Errorf("%v.Name() = %q, want %q", tc.a, got, tc.want)
+		}
+		if _, err := regalloc.New(regalloc.Alpha(), regalloc.WithAlgorithm(tc.a.Name())); err != nil {
+			t.Errorf("engine rejects built-in %q: %v", tc.want, err)
+		}
+	}
+}
+
+func TestParseMachine(t *testing.T) {
+	m, err := regalloc.ParseMachine("alpha")
+	if err != nil || m.Name != "alpha" {
+		t.Fatalf("ParseMachine(alpha) = %v, %v", m, err)
+	}
+	m, err = regalloc.ParseMachine("tiny:6,4")
+	if err != nil || m.Name != "tiny(6,4)" {
+		t.Fatalf("ParseMachine(tiny:6,4) = %v, %v", m, err)
+	}
+	for _, bad := range []string{"", "tiny:", "tiny:x,y", "vax"} {
+		if _, err := regalloc.ParseMachine(bad); err == nil {
+			t.Errorf("ParseMachine(%q) succeeded", bad)
+		}
+	}
+}
+
+// Example-style smoke test of the documented quickstart flow.
+func TestEngineQuickstartShape(t *testing.T) {
+	mach := regalloc.Alpha()
+	b := regalloc.NewBuilder(mach, 8)
+	pb := b.NewProc("main")
+	x := pb.IntTemp("x")
+	pb.Ldi(x, 41)
+	pb.Op2(regalloc.OpAdd, x, regalloc.TempOp(x), regalloc.ImmOp(1))
+	pb.Ret(x)
+
+	eng, err := regalloc.New(mach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocated, report, err := eng.AllocateProgram(context.Background(), b.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Totals.Candidates == 0 || len(report.Procs) != 1 {
+		t.Fatalf("unexpected report %+v", report)
+	}
+	out, err := regalloc.Execute(allocated, mach, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RetValue != 42 {
+		t.Fatalf("ret = %d, want 42", out.RetValue)
+	}
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,16 +21,22 @@ func main() {
 	flag.Parse()
 
 	mach := regalloc.Alpha()
-	algos := []regalloc.Algorithm{
-		regalloc.SecondChance,
-		regalloc.TwoPass,
-		regalloc.Coloring,
-		regalloc.LinearScan,
+	// One engine per registered allocator: the engines are built from
+	// the registry, so a custom Register()ed allocator would appear in
+	// this comparison automatically.
+	algos := regalloc.Algorithms()
+	engines := make([]*regalloc.Engine, len(algos))
+	for i, name := range algos {
+		var err error
+		engines[i], err = regalloc.New(mach, regalloc.WithAlgorithm(name))
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Printf("%-10s", "benchmark")
 	for _, a := range algos {
-		fmt.Printf(" %22s", shortName(a))
+		fmt.Printf(" %22s", a)
 	}
 	fmt.Println()
 	fmt.Printf("%-10s", "")
@@ -49,38 +56,19 @@ func main() {
 			input = bench.Input(s)
 		}
 		fmt.Printf("%-10s", bench.Name)
-		for _, algo := range algos {
-			opts := regalloc.DefaultOptions()
-			opts.Algorithm = algo
-			allocated, results, err := regalloc.AllocateProgram(prog, mach, opts)
+		for i, eng := range engines {
+			allocated, report, err := eng.AllocateProgram(context.Background(), prog)
 			if err != nil {
-				log.Fatalf("%s under %v: %v", bench.Name, algo, err)
-			}
-			var allocTime time.Duration
-			for _, r := range results {
-				allocTime += r.Stats.AllocTime
+				log.Fatalf("%s under %s: %v", bench.Name, algos[i], err)
 			}
 			out, err := regalloc.ExecuteParanoid(allocated, mach, input)
 			if err != nil {
-				log.Fatalf("%s under %v: %v", bench.Name, algo, err)
+				log.Fatalf("%s under %s: %v", bench.Name, algos[i], err)
 			}
-			fmt.Printf(" %14d %7s", out.Counters.Total, allocTime.Round(10*time.Microsecond))
+			fmt.Printf(" %14d %7s", out.Counters.Total,
+				report.Totals.AllocTime.Round(10*time.Microsecond))
 		}
 		fmt.Println()
 	}
 	fmt.Println("\nalloc = allocator-core wall time; dyn-instrs = executed instructions")
-}
-
-func shortName(a regalloc.Algorithm) string {
-	switch a {
-	case regalloc.SecondChance:
-		return "second-chance"
-	case regalloc.TwoPass:
-		return "two-pass"
-	case regalloc.Coloring:
-		return "coloring"
-	case regalloc.LinearScan:
-		return "linear-scan"
-	}
-	return a.String()
 }

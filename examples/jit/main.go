@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -53,12 +54,22 @@ func main() {
 
 	type scheme struct {
 		name string
-		algo regalloc.Algorithm
+		algo string
 	}
 	for _, s := range []scheme{
-		{"second-chance binpacking", regalloc.SecondChance},
-		{"graph coloring", regalloc.Coloring},
+		{"second-chance binpacking", "binpack"},
+		{"graph coloring", "coloring"},
 	} {
+		// One engine per scheme, reused across every compilation: the
+		// engine pools allocator scratch state, which is exactly what a
+		// long-lived JIT wants on its hot path.
+		eng, err := regalloc.New(mach,
+			regalloc.WithAlgorithm(s.algo),
+			regalloc.WithVerify(false), // a JIT trusts its allocator; tests verify
+			regalloc.WithParallelism(1))
+		if err != nil {
+			log.Fatal(err)
+		}
 		var compile time.Duration
 		var instrs, dyn int64
 		rng.Seed(1)
@@ -69,16 +80,13 @@ func main() {
 			res := g.gen(*depth)
 			pb.Ret(res)
 
-			opts := regalloc.DefaultOptions()
-			opts.Algorithm = s.algo
-			opts.Verify = false // a JIT trusts its allocator; tests verify
 			start := time.Now()
-			allocated, results, err := regalloc.AllocateProgram(b.Prog, mach, opts)
+			allocated, _, err := eng.AllocateProgram(context.Background(), b.Prog)
 			if err != nil {
 				log.Fatal(err)
 			}
 			compile += time.Since(start)
-			instrs += int64(results[0].Proc.NumInstrs())
+			instrs += int64(allocated.Proc("main").NumInstrs())
 
 			out, err := regalloc.Execute(allocated, mach, nil)
 			if err != nil {

@@ -107,7 +107,11 @@ func main() {
 	}
 	fmt.Printf("prs %s   (simultaneously live temporaries)\n\n", sb.String())
 
-	res, err := regalloc.AllocateProc(p, mach, regalloc.DefaultOptions())
+	eng, err := regalloc.New(mach)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.AllocateProc(p)
 	if err != nil {
 		log.Fatal(err)
 	}

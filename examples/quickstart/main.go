@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,15 +55,21 @@ func main() {
 	}
 
 	// Allocate with the paper's pipeline: DCE → second-chance
-	// binpacking → peephole, with verification on.
-	allocated, results, err := regalloc.AllocateProgram(b.Prog, mach, regalloc.DefaultOptions())
+	// binpacking → peephole, with verification on — the engine's
+	// default configuration.
+	eng, err := regalloc.New(mach)
+	if err != nil {
+		log.Fatal(err)
+	}
+	allocated, report, err := eng.AllocateProgram(context.Background(), b.Prog)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("=== allocated code ===")
 	fmt.Print(regalloc.DumpProc(allocated.Proc("main"), mach))
+	st := report.Procs[0].Stats
 	fmt.Printf("candidates: %d, spilled: %d, inserted spill instructions: %d\n",
-		results[0].Stats.Candidates, results[0].Stats.SpilledTemps, results[0].Stats.TotalSpillCode())
+		st.Candidates, st.SpilledTemps, st.TotalSpillCode())
 
 	// Execute the allocated code with caller-saved poisoning.
 	out, err := regalloc.ExecuteParanoid(allocated, mach, nil)

@@ -52,6 +52,20 @@ type Stats struct {
 	Rounds            int
 }
 
+// Add accumulates another allocation's statistics into s (used for
+// program-level aggregate reports).
+func (s *Stats) Add(o Stats) {
+	s.Candidates += o.Candidates
+	s.SpilledTemps += o.SpilledTemps
+	s.UsedCalleeSaved += o.UsedCalleeSaved
+	s.AllocTime += o.AllocTime
+	s.InterferenceEdges += o.InterferenceEdges
+	s.Rounds += o.Rounds
+	for i, c := range o.Inserted {
+		s.Inserted[i] += c
+	}
+}
+
 // TotalSpillCode returns the number of inserted spill instructions,
 // excluding callee-save prologue/epilogue code.
 func (s *Stats) TotalSpillCode() int {

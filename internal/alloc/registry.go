@@ -1,0 +1,69 @@
+package alloc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/target"
+)
+
+// Factory constructs a fresh allocator for a machine. Factories must be
+// cheap: the engine calls them once per worker, and implementations are
+// free to keep per-instance scratch state that is reused across
+// Allocate calls (instances are never shared between goroutines).
+type Factory func(m *target.Machine) Allocator
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Factory)
+)
+
+// Register adds a named allocator factory to the global registry. The
+// four built-in allocators self-register under "binpack", "twopass",
+// "coloring" and "linearscan"; external packages may add their own.
+// Registering an empty name, a nil factory, or a name that is already
+// taken is an error.
+func Register(name string, f Factory) error {
+	if name == "" {
+		return fmt.Errorf("alloc: Register: empty allocator name")
+	}
+	if f == nil {
+		return fmt.Errorf("alloc: Register %q: nil factory", name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("alloc: Register %q: already registered", name)
+	}
+	registry[name] = f
+	return nil
+}
+
+// MustRegister is Register, panicking on error. The built-in allocators
+// use it from init.
+func MustRegister(name string, f Factory) {
+	if err := Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the factory registered under name.
+func Lookup(name string) (Factory, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	f, ok := registry[name]
+	return f, ok
+}
+
+// Names returns every registered allocator name, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

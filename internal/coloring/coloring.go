@@ -18,6 +18,7 @@ package coloring
 import (
 	"fmt"
 	"math"
+	"slices"
 	"time"
 
 	"repro/internal/alloc"
@@ -37,6 +38,10 @@ type Allocator struct {
 
 // New returns a coloring allocator for the machine.
 func New(m *target.Machine) *Allocator { return &Allocator{mach: m, MaxRounds: 32} }
+
+func init() {
+	alloc.MustRegister("coloring", func(m *target.Machine) alloc.Allocator { return New(m) })
+}
 
 // Name identifies the allocator in reports.
 func (a *Allocator) Name() string { return "graph coloring (George-Appel)" }
@@ -269,7 +274,7 @@ func (g *colorer) nodeForOperand(o ir.Operand) int32 {
 // handled by the in-block scan).
 func (g *colorer) build() {
 	live := make(map[int32]bool, 64)
-	var defs, uses []int32
+	var defs, uses, liveKeys []int32
 	callerSaved := g.mach.CallerSavedRegs(g.class)
 
 	for bi := len(g.proc.Blocks) - 1; bi >= 0; bi-- {
@@ -331,8 +336,17 @@ func (g *colorer) build() {
 			for _, d := range defs {
 				live[d] = true
 			}
+			// Materialize the live set in sorted order so the adjacency
+			// lists — and therefore worklist evolution and color choice —
+			// do not depend on map iteration order: allocation must be a
+			// deterministic function of its input.
+			liveKeys = liveKeys[:0]
+			for l := range live {
+				liveKeys = append(liveKeys, l)
+			}
+			slices.Sort(liveKeys)
 			for _, d := range defs {
-				for l := range live {
+				for _, l := range liveKeys {
 					g.addEdge(l, d)
 				}
 			}
@@ -555,10 +569,13 @@ func (g *colorer) combine(u, v int32) {
 }
 
 func (g *colorer) doFreeze() {
+	// Freeze the lowest-numbered candidate rather than an arbitrary map
+	// element, keeping the whole allocation deterministic.
 	var nd int32 = -1
 	for w := range g.freezeWl {
-		nd = w
-		break
+		if nd < 0 || w < nd {
+			nd = w
+		}
 	}
 	delete(g.freezeWl, nd)
 	g.state[nd] = stSimplifyWl
@@ -597,7 +614,10 @@ func (g *colorer) selectSpill() {
 		t := g.tempOf[nd-int32(g.k)]
 		ns := g.noSpill[t]
 		cost := g.costs[nd] / float64(g.degree[nd])
-		if (bestNoSpill && !ns) || ((ns == bestNoSpill) && cost < bestCost) {
+		// Break exact-cost ties by node id so the choice does not
+		// depend on map iteration order.
+		if (bestNoSpill && !ns) ||
+			(ns == bestNoSpill && (cost < bestCost || (cost == bestCost && (best < 0 || nd < best)))) {
 			best, bestCost, bestNoSpill = nd, cost, ns
 		}
 	}

@@ -81,10 +81,14 @@ func DefaultOptions() Options {
 	}
 }
 
-// Allocator is the binpacking register allocator.
+// Allocator is the binpacking register allocator. It keeps per-instance
+// scratch buffers that are reused across Allocate calls, so one
+// Allocator must not run concurrent allocations; use one instance per
+// goroutine (the engine's worker pool does exactly that).
 type Allocator struct {
-	mach *target.Machine
-	opts Options
+	mach    *target.Machine
+	opts    Options
+	scratch scanScratch
 }
 
 // New returns an allocator for the machine with the given options.
@@ -126,11 +130,12 @@ func (a *Allocator) Allocate(orig *ir.Proc) (*alloc.Result, error) {
 	var frame *alloc.Frame
 	var usedCallee map[target.Reg]bool
 	if a.opts.SecondChance {
-		s := newScan(p, a.mach, a.opts, lv, lt, rb)
+		s := newScan(p, a.mach, a.opts, lv, lt, rb, &a.scratch)
 		if err := s.run(); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name(), p.Name, err)
 		}
 		s.resolve()
+		s.release(&a.scratch)
 		frame = s.frame
 		usedCallee = s.usedCallee
 	} else {

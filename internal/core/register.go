@@ -1,0 +1,20 @@
+package core
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/target"
+)
+
+// The binpacking family self-registers both of its variants: the
+// paper-configured second-chance allocator and the traditional two-pass
+// ablation of §3.1.
+func init() {
+	alloc.MustRegister("binpack", func(m *target.Machine) alloc.Allocator {
+		return NewDefault(m)
+	})
+	alloc.MustRegister("twopass", func(m *target.Machine) alloc.Allocator {
+		o := DefaultOptions()
+		o.SecondChance = false
+		return New(m, o)
+	})
+}

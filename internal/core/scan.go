@@ -50,25 +50,73 @@ type scan struct {
 	dbuf []ir.Temp
 }
 
-func newScan(p *ir.Proc, mach *target.Machine, opts Options, lv *dataflow.Liveness, lt *lifetime.Table, rb *lifetime.RegBusy) *scan {
+// scanScratch holds the scan's per-temp, per-register and per-block
+// working arrays so that repeated allocation on the same Allocator (the
+// engine's batch hot path) reuses buffers instead of reallocating them
+// for every procedure. The zero value is ready to use. An Allocator that
+// shares a scanScratch must not be used from multiple goroutines.
+type scanScratch struct {
+	loc        []target.Reg
+	regOcc     []ir.Temp
+	consistent []bool
+	consLocal  []bool
+	pinned     []bool
+	topLoc     []map[ir.Temp]target.Reg
+	botLoc     []map[ir.Temp]target.Reg
+	savedCons  []*bitset.Set
+	wrote      []*bitset.Set
+	usedC      []*bitset.Set
+	ubuf, dbuf []ir.Temp
+}
+
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	// Clear the whole capacity, not just [:n]: the tail beyond n would
+	// otherwise pin maps and bitsets from the largest procedure ever
+	// seen for the lifetime of the pooled allocator.
+	full := buf[:cap(buf)]
+	clear(full)
+	return full[:n]
+}
+
+func newScan(p *ir.Proc, mach *target.Machine, opts Options, lv *dataflow.Liveness, lt *lifetime.Table, rb *lifetime.RegBusy, sc *scanScratch) *scan {
+	if sc == nil {
+		sc = &scanScratch{}
+	}
 	nb := len(p.Blocks)
 	ng := lv.NumGlobals()
+	nt := p.NumTemps()
+	nr := mach.NumRegs()
+	sc.loc = grow(sc.loc, nt)
+	sc.regOcc = grow(sc.regOcc, nr)
+	sc.consistent = grow(sc.consistent, nt)
+	sc.consLocal = grow(sc.consLocal, nt)
+	sc.pinned = grow(sc.pinned, nr)
+	sc.topLoc = grow(sc.topLoc, nb)
+	sc.botLoc = grow(sc.botLoc, nb)
+	sc.savedCons = grow(sc.savedCons, nb)
+	sc.wrote = grow(sc.wrote, nb)
+	sc.usedC = grow(sc.usedC, nb)
 	s := &scan{
 		p: p, mach: mach, opts: opts, lv: lv, lt: lt, rb: rb,
 		frame:      alloc.NewFrame(p),
 		usedCallee: make(map[target.Reg]bool),
-		loc:        make([]target.Reg, p.NumTemps()),
-		regOcc:     make([]ir.Temp, mach.NumRegs()),
-		consistent: make([]bool, p.NumTemps()),
-		consLocal:  make([]bool, p.NumTemps()),
-		pinned:     make([]bool, mach.NumRegs()),
-		topLoc:     make([]map[ir.Temp]target.Reg, nb),
-		botLoc:     make([]map[ir.Temp]target.Reg, nb),
-		savedCons:  make([]*bitset.Set, nb),
-		wrote:      make([]*bitset.Set, nb),
-		usedC:      make([]*bitset.Set, nb),
+		loc:        sc.loc,
+		regOcc:     sc.regOcc,
+		consistent: sc.consistent,
+		consLocal:  sc.consLocal,
+		pinned:     sc.pinned,
+		topLoc:     sc.topLoc,
+		botLoc:     sc.botLoc,
+		savedCons:  sc.savedCons,
+		wrote:      sc.wrote,
+		usedC:      sc.usedC,
 		wroteCur:   bitset.New(ng),
 		usedCCur:   bitset.New(ng),
+		ubuf:       sc.ubuf[:0],
+		dbuf:       sc.dbuf[:0],
 	}
 	for i := range s.loc {
 		s.loc[i] = target.NoReg
@@ -77,6 +125,17 @@ func newScan(p *ir.Proc, mach *target.Machine, opts Options, lv *dataflow.Livene
 		s.regOcc[i] = ir.NoTemp
 	}
 	return s
+}
+
+// release hands the scan's (possibly regrown) buffers back to the
+// scratch for the next allocation. The rewritten procedure keeps the
+// per-block instruction buffers, so those are not pooled; everything
+// released here must not be retained by the result.
+func (s *scan) release(sc *scanScratch) {
+	if sc == nil {
+		return
+	}
+	sc.ubuf, sc.dbuf = s.ubuf, s.dbuf
 }
 
 func (s *scan) iv(t ir.Temp) *lifetime.Interval { return s.lt.Intervals[t] }

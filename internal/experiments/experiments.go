@@ -10,9 +10,12 @@ import (
 	"time"
 
 	"repro/internal/alloc"
-	"repro/internal/coloring"
 	"repro/internal/core"
+
+	// Registry side effects: "coloring" and "linearscan" register here.
+	_ "repro/internal/coloring"
 	"repro/internal/ir"
+	_ "repro/internal/linearscan"
 	"repro/internal/opt"
 	"repro/internal/progs"
 	"repro/internal/target"
@@ -37,15 +40,7 @@ func Pipeline(prog *ir.Program, mach *target.Machine, a alloc.Allocator) (*ir.Pr
 			return nil, agg, fmt.Errorf("%s: %s: %w", a.Name(), p.Name, err)
 		}
 		opt.Peephole(res.Proc)
-		agg.Candidates += res.Stats.Candidates
-		agg.SpilledTemps += res.Stats.SpilledTemps
-		agg.UsedCalleeSaved += res.Stats.UsedCalleeSaved
-		agg.AllocTime += res.Stats.AllocTime
-		agg.InterferenceEdges += res.Stats.InterferenceEdges
-		agg.Rounds += res.Stats.Rounds
-		for i, c := range res.Stats.Inserted {
-			agg.Inserted[i] += c
-		}
+		agg.Add(res.Stats)
 		out.AddProc(res.Proc)
 	}
 	return out, agg, nil
@@ -70,18 +65,34 @@ func RunBench(b *progs.Benchmark, mach *target.Machine, scale int, a alloc.Alloc
 	return res.Counters, stats, nil
 }
 
-// Binpack returns the paper-configured second-chance allocator.
-func Binpack(mach *target.Machine) alloc.Allocator { return core.NewDefault(mach) }
-
-// TwoPass returns the traditional two-pass binpacking allocator.
-func TwoPass(mach *target.Machine) alloc.Allocator {
-	o := core.DefaultOptions()
-	o.SecondChance = false
-	return core.New(mach, o)
+// Resolve returns a fresh allocator by registry name — the experiment
+// harness selects algorithms by string, like the CLIs.
+func Resolve(name string, mach *target.Machine) (alloc.Allocator, error) {
+	f, ok := alloc.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown allocator %q (have %v)", name, alloc.Names())
+	}
+	return f(mach), nil
 }
 
+// mustResolve is Resolve for the built-in names, which are always
+// registered.
+func mustResolve(name string, mach *target.Machine) alloc.Allocator {
+	a, err := Resolve(name, mach)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Binpack returns the paper-configured second-chance allocator.
+func Binpack(mach *target.Machine) alloc.Allocator { return mustResolve("binpack", mach) }
+
+// TwoPass returns the traditional two-pass binpacking allocator.
+func TwoPass(mach *target.Machine) alloc.Allocator { return mustResolve("twopass", mach) }
+
 // GraphColoring returns the George–Appel allocator.
-func GraphColoring(mach *target.Machine) alloc.Allocator { return coloring.New(mach) }
+func GraphColoring(mach *target.Machine) alloc.Allocator { return mustResolve("coloring", mach) }
 
 // Table1Row compares dynamic instruction counts and simulated cycles for
 // one benchmark (larger ratios mean poorer binpacking code, as in the

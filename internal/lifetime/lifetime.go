@@ -122,8 +122,12 @@ type Table struct {
 func Compute(p *ir.Proc, lv *dataflow.Liveness) *Table {
 	nt := p.NumTemps()
 	tab := &Table{Intervals: make([]*Interval, nt), NumPos: p.NumInstrs()}
+	// One backing array instead of one allocation per interval: this is
+	// the batch hot path, and candidate counts reach thousands (Table 3).
+	backing := make([]Interval, nt)
 	for t := 0; t < nt; t++ {
-		tab.Intervals[t] = &Interval{Temp: ir.Temp(t)}
+		backing[t] = Interval{Temp: ir.Temp(t)}
+		tab.Intervals[t] = &backing[t]
 	}
 
 	// openEnd[t] >= 0 means a live segment of t is open, ending (in

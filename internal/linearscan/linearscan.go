@@ -35,6 +35,10 @@ type Allocator struct {
 // New returns a linear-scan allocator for the machine.
 func New(m *target.Machine) *Allocator { return &Allocator{mach: m} }
 
+func init() {
+	alloc.MustRegister("linearscan", func(m *target.Machine) alloc.Allocator { return New(m) })
+}
+
 // Name identifies the allocator in reports.
 func (a *Allocator) Name() string { return "linear scan (Poletto)" }
 

@@ -1,0 +1,327 @@
+// Package target describes the register targets the allocators compile
+// for: the Alpha-like machine of the paper's experiments (§3) and a
+// parameterizable "tiny" machine used to force spilling in tests.
+//
+// A Machine is immutable after construction. Registers are numbered
+// densely from 0 across all classes; the integer file comes first, then
+// the floating-point file. Conventions (caller- vs. callee-saved,
+// parameter and return registers, allocatability) are fixed per machine
+// and exposed through accessor methods so allocators never hard-code
+// them.
+package target
+
+import "fmt"
+
+// Class is a register file: every temporary and every register belongs
+// to exactly one class, and allocation never crosses classes.
+type Class uint8
+
+const (
+	// ClassInt is the integer register file.
+	ClassInt Class = iota
+	// ClassFloat is the floating-point register file.
+	ClassFloat
+	// NumClasses is the number of register files.
+	NumClasses = 2
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassInt:
+		return "int"
+	case ClassFloat:
+		return "float"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Reg names a physical register by its dense machine-wide index.
+type Reg int16
+
+// NoReg marks the absence of a register.
+const NoReg Reg = -1
+
+// RegInfo describes one physical register.
+type RegInfo struct {
+	// Name is the assembly-level name ("r4", "f0").
+	Name string
+	// Class is the register file the register belongs to.
+	Class Class
+	// CallerSaved registers may be clobbered by a call; callee-saved
+	// registers must be preserved by any procedure that uses them.
+	CallerSaved bool
+	// Allocatable registers may be assigned to temporaries. Reserved
+	// registers (stack pointer, zero register, …) are not.
+	Allocatable bool
+}
+
+// Machine is an immutable register-target description.
+type Machine struct {
+	// Name identifies the machine in output ("alpha", "tiny(6,4)").
+	Name string
+
+	regs []RegInfo
+	// Derived tables, built once by finish().
+	byClass     [NumClasses][]Reg
+	allocOrder  [NumClasses][]Reg
+	callerSaved [NumClasses][]Reg
+	calleeSaved [NumClasses][]Reg
+	paramRegs   [NumClasses][]Reg
+	retReg      [NumClasses]Reg
+}
+
+// NumRegs returns the total number of physical registers (all classes).
+func (m *Machine) NumRegs() int { return len(m.regs) }
+
+// RegName returns r's assembly-level name.
+func (m *Machine) RegName(r Reg) string {
+	if int(r) < 0 || int(r) >= len(m.regs) {
+		return fmt.Sprintf("R?%d", int(r))
+	}
+	return m.regs[r].Name
+}
+
+// RegClass returns the register file r belongs to.
+func (m *Machine) RegClass(r Reg) Class { return m.regs[r].Class }
+
+// CallerSaved reports whether r may be clobbered by a call.
+func (m *Machine) CallerSaved(r Reg) bool { return m.regs[r].CallerSaved }
+
+// Allocatable reports whether r may be assigned to a temporary.
+func (m *Machine) Allocatable(r Reg) bool { return m.regs[r].Allocatable }
+
+// Reg returns the i-th register of class c, counting reserved registers
+// (the within-file numbering: Reg(ClassFloat, 3) is "f3").
+func (m *Machine) Reg(c Class, i int) Reg { return m.byClass[c][i] }
+
+// AllocOrder returns every allocatable register of class c in allocation
+// preference order: plain caller-saved temporaries first, then the
+// return and parameter registers, then callee-saved registers (whose
+// first use obligates a save/restore pair). Callers must not mutate the
+// returned slice.
+func (m *Machine) AllocOrder(c Class) []Reg { return m.allocOrder[c] }
+
+// CallerSavedRegs returns the allocatable caller-saved registers of
+// class c in ascending register order. Callers must not mutate the
+// returned slice.
+func (m *Machine) CallerSavedRegs(c Class) []Reg { return m.callerSaved[c] }
+
+// CalleeSavedRegs returns the allocatable callee-saved registers of
+// class c in ascending register order. Callers must not mutate the
+// returned slice.
+func (m *Machine) CalleeSavedRegs(c Class) []Reg { return m.calleeSaved[c] }
+
+// ParamRegs returns the parameter registers of class c in argument
+// order. Callers must not mutate the returned slice.
+func (m *Machine) ParamRegs(c Class) []Reg { return m.paramRegs[c] }
+
+// RetReg returns the return-value register of class c.
+func (m *Machine) RetReg(c Class) Reg { return m.retReg[c] }
+
+// finish builds the derived tables from m.regs, m.paramRegs and
+// m.retReg. The allocation order is: allocatable caller-saved registers
+// that carry no convention role, then the return register, then the
+// parameter registers, then callee-saved registers.
+func (m *Machine) finish() *Machine {
+	conv := make(map[Reg]bool)
+	for c := Class(0); c < NumClasses; c++ {
+		conv[m.retReg[c]] = true
+		for _, r := range m.paramRegs[c] {
+			conv[r] = true
+		}
+	}
+	for i := range m.regs {
+		r := Reg(i)
+		c := m.regs[i].Class
+		m.byClass[c] = append(m.byClass[c], r)
+		if !m.regs[i].Allocatable {
+			continue
+		}
+		if m.regs[i].CallerSaved {
+			m.callerSaved[c] = append(m.callerSaved[c], r)
+		} else {
+			m.calleeSaved[c] = append(m.calleeSaved[c], r)
+		}
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		var plain []Reg
+		for _, r := range m.callerSaved[c] {
+			if !conv[r] {
+				plain = append(plain, r)
+			}
+		}
+		order := append([]Reg{}, plain...)
+		order = append(order, m.retReg[c])
+		order = append(order, m.paramRegs[c]...)
+		order = append(order, m.calleeSaved[c]...)
+		m.allocOrder[c] = order
+	}
+	return m
+}
+
+// Config describes a custom machine for New: register counts per file,
+// which within-file indices are caller-saved (the rest are
+// callee-saved), and the calling convention. Every register of a custom
+// machine is allocatable.
+type Config struct {
+	Name             string
+	NumInt, NumFloat int
+	// CallerSavedInt / CallerSavedFloat list the within-file indices
+	// that calls clobber; all other registers are callee-saved.
+	CallerSavedInt   []int
+	CallerSavedFloat []int
+	// IntParams / FloatParams are within-file indices in argument order.
+	IntParams   []int
+	FloatParams []int
+	// IntRet / FloatRet are the within-file indices of the return
+	// registers.
+	IntRet, FloatRet int
+}
+
+// New builds a machine from a Config.
+func New(cfg Config) (*Machine, error) {
+	if cfg.NumInt < 1 || cfg.NumFloat < 1 {
+		return nil, fmt.Errorf("target: machine %q needs at least one register per file", cfg.Name)
+	}
+	m := &Machine{Name: cfg.Name}
+	for _, file := range []struct {
+		class       Class
+		prefix      string
+		n           int
+		callerSaved []int
+		params      []int
+		ret         int
+	}{
+		{ClassInt, "r", cfg.NumInt, cfg.CallerSavedInt, cfg.IntParams, cfg.IntRet},
+		{ClassFloat, "f", cfg.NumFloat, cfg.CallerSavedFloat, cfg.FloatParams, cfg.FloatRet},
+	} {
+		base := len(m.regs)
+		caller := make([]bool, file.n)
+		for _, i := range file.callerSaved {
+			if i < 0 || i >= file.n {
+				return nil, fmt.Errorf("target: machine %q: caller-saved index %d out of range [0,%d)", cfg.Name, i, file.n)
+			}
+			caller[i] = true
+		}
+		for i := 0; i < file.n; i++ {
+			m.regs = append(m.regs, RegInfo{
+				Name:        fmt.Sprintf("%s%d", file.prefix, i),
+				Class:       file.class,
+				CallerSaved: caller[i],
+				Allocatable: true,
+			})
+		}
+		if file.ret < 0 || file.ret >= file.n {
+			return nil, fmt.Errorf("target: machine %q: return index %d out of range [0,%d)", cfg.Name, file.ret, file.n)
+		}
+		m.retReg[file.class] = Reg(base + file.ret)
+		for _, i := range file.params {
+			if i < 0 || i >= file.n {
+				return nil, fmt.Errorf("target: machine %q: parameter index %d out of range [0,%d)", cfg.Name, i, file.n)
+			}
+			m.paramRegs[file.class] = append(m.paramRegs[file.class], Reg(base+i))
+		}
+	}
+	return m.finish(), nil
+}
+
+// MustNew is New, panicking on an invalid Config.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Alpha returns the Alpha-like machine of the paper's experiments: 32
+// integer and 32 floating-point registers under the Digital Unix calling
+// standard (v0 return, a0–a5 arguments, s0–s6 callee-saved, ra/at/gp/sp
+// and both zero registers reserved).
+func Alpha() *Machine {
+	m := &Machine{Name: "alpha"}
+	intReg := func(i int, caller, alloc bool) RegInfo {
+		return RegInfo{Name: fmt.Sprintf("r%d", i), Class: ClassInt, CallerSaved: caller, Allocatable: alloc}
+	}
+	fltReg := func(i int, caller, alloc bool) RegInfo {
+		return RegInfo{Name: fmt.Sprintf("f%d", i), Class: ClassFloat, CallerSaved: caller, Allocatable: alloc}
+	}
+	for i := 0; i < 32; i++ {
+		var caller, alloc bool
+		switch {
+		case i == 0: // v0: return value
+			caller, alloc = true, true
+		case i <= 8: // t0–t7: temporaries
+			caller, alloc = true, true
+		case i <= 15: // s0–s6: callee-saved (incl. fp, free here)
+			caller, alloc = false, true
+		case i <= 21: // a0–a5: arguments
+			caller, alloc = true, true
+		case i <= 25: // t8–t11: temporaries
+			caller, alloc = true, true
+		case i == 27: // t12/pv: temporary
+			caller, alloc = true, true
+		default: // ra, at, gp, sp, zero: reserved
+			caller, alloc = true, false
+		}
+		m.regs = append(m.regs, intReg(i, caller, alloc))
+	}
+	for i := 0; i < 32; i++ {
+		var caller, alloc bool
+		switch {
+		case i == 31: // fzero: reserved
+			caller, alloc = true, false
+		case i >= 2 && i <= 9: // f2–f9: callee-saved
+			caller, alloc = false, true
+		default: // return, arguments, temporaries
+			caller, alloc = true, true
+		}
+		m.regs = append(m.regs, fltReg(i, caller, alloc))
+	}
+	m.retReg[ClassInt] = 0
+	m.retReg[ClassFloat] = 32
+	for i := 16; i <= 21; i++ { // a0–a5
+		m.paramRegs[ClassInt] = append(m.paramRegs[ClassInt], Reg(i))
+		m.paramRegs[ClassFloat] = append(m.paramRegs[ClassFloat], Reg(32+i))
+	}
+	return m.finish()
+}
+
+// Tiny returns a small machine with nInt integer and nFloat float
+// registers, used to force spilling. Within each file, register 0 is the
+// return register, the next one or two registers pass parameters, the
+// trailing (n-2)/3 registers are callee-saved, and everything in between
+// is a caller-saved temporary. All registers are allocatable. nInt must
+// be at least 3 and nFloat at least 2 so the calling convention fits.
+func Tiny(nInt, nFloat int) *Machine {
+	m, err := NewTiny(nInt, nFloat)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NewTiny is Tiny with the size constraint reported as an error instead
+// of a panic, for machines built from user input.
+func NewTiny(nInt, nFloat int) (*Machine, error) {
+	if nInt < 3 || nFloat < 2 {
+		return nil, fmt.Errorf("target: tiny(%d,%d) is too small for the calling convention (need ≥ 3 int and ≥ 2 float registers)", nInt, nFloat)
+	}
+	cfg := Config{Name: fmt.Sprintf("tiny(%d,%d)", nInt, nFloat), NumInt: nInt, NumFloat: nFloat}
+	file := func(n int) (caller, params []int) {
+		for i := 0; i < n-(n-2)/3; i++ {
+			caller = append(caller, i)
+		}
+		nParam := 2
+		if n-1 < nParam {
+			nParam = n - 1
+		}
+		for i := 1; i <= nParam; i++ {
+			params = append(params, i)
+		}
+		return caller, params
+	}
+	cfg.CallerSavedInt, cfg.IntParams = file(nInt)
+	cfg.CallerSavedFloat, cfg.FloatParams = file(nFloat)
+	return New(cfg)
+}

@@ -1,0 +1,194 @@
+package target
+
+import (
+	"strings"
+	"testing"
+)
+
+// checkConventions validates the structural invariants every machine
+// must satisfy for the allocators.
+func checkConventions(t *testing.T, m *Machine) {
+	t.Helper()
+	for c := Class(0); c < NumClasses; c++ {
+		seen := make(map[Reg]bool)
+		for _, r := range m.AllocOrder(c) {
+			if !m.Allocatable(r) {
+				t.Errorf("%s: AllocOrder(%v) contains non-allocatable %s", m.Name, c, m.RegName(r))
+			}
+			if m.RegClass(r) != c {
+				t.Errorf("%s: AllocOrder(%v) contains %s of class %v", m.Name, c, m.RegName(r), m.RegClass(r))
+			}
+			if seen[r] {
+				t.Errorf("%s: AllocOrder(%v) repeats %s", m.Name, c, m.RegName(r))
+			}
+			seen[r] = true
+		}
+		nAlloc := 0
+		for r := 0; r < m.NumRegs(); r++ {
+			if m.RegClass(Reg(r)) == c && m.Allocatable(Reg(r)) {
+				nAlloc++
+				if !seen[Reg(r)] {
+					t.Errorf("%s: allocatable %s missing from AllocOrder(%v)", m.Name, m.RegName(Reg(r)), c)
+				}
+			}
+		}
+		if nAlloc != len(m.AllocOrder(c)) {
+			t.Errorf("%s: AllocOrder(%v) has %d regs, want %d", m.Name, c, len(m.AllocOrder(c)), nAlloc)
+		}
+		for _, r := range m.CallerSavedRegs(c) {
+			if !m.CallerSaved(r) || m.RegClass(r) != c || !m.Allocatable(r) {
+				t.Errorf("%s: CallerSavedRegs(%v) wrong for %s", m.Name, c, m.RegName(r))
+			}
+		}
+		for _, r := range m.CalleeSavedRegs(c) {
+			if m.CallerSaved(r) || m.RegClass(r) != c || !m.Allocatable(r) {
+				t.Errorf("%s: CalleeSavedRegs(%v) wrong for %s", m.Name, c, m.RegName(r))
+			}
+		}
+		ret := m.RetReg(c)
+		if m.RegClass(ret) != c {
+			t.Errorf("%s: RetReg(%v) has class %v", m.Name, c, m.RegClass(ret))
+		}
+		params := make(map[Reg]bool)
+		for _, r := range m.ParamRegs(c) {
+			if m.RegClass(r) != c {
+				t.Errorf("%s: ParamRegs(%v) contains %s of class %v", m.Name, c, m.RegName(r), m.RegClass(r))
+			}
+			if params[r] {
+				t.Errorf("%s: ParamRegs(%v) repeats %s", m.Name, c, m.RegName(r))
+			}
+			params[r] = true
+			if r == ret {
+				t.Errorf("%s: ParamRegs(%v) overlaps the return register", m.Name, c)
+			}
+		}
+	}
+}
+
+func TestAlphaShape(t *testing.T) {
+	m := Alpha()
+	if m.NumRegs() != 64 {
+		t.Fatalf("NumRegs = %d, want 64", m.NumRegs())
+	}
+	checkConventions(t, m)
+	if len(m.ParamRegs(ClassInt)) != 6 || len(m.ParamRegs(ClassFloat)) != 6 {
+		t.Fatalf("Alpha passes 6 arguments per file, got %d/%d",
+			len(m.ParamRegs(ClassInt)), len(m.ParamRegs(ClassFloat)))
+	}
+	// r31 and f31 are the zero registers; sp/gp/at/ra are reserved too.
+	for _, name := range []string{"r26", "r28", "r29", "r30", "r31", "f31"} {
+		found := false
+		for r := 0; r < m.NumRegs(); r++ {
+			if m.RegName(Reg(r)) == name {
+				found = true
+				if m.Allocatable(Reg(r)) {
+					t.Errorf("%s must not be allocatable", name)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("register %s missing", name)
+		}
+	}
+	// The scratch picker needs at least two caller-saved registers that
+	// are neither parameter nor return registers at the END of the
+	// caller-saved list (PickScratch takes the last two).
+	for c := Class(0); c < NumClasses; c++ {
+		cs := m.CallerSavedRegs(c)
+		if len(cs) < 2 {
+			t.Fatalf("class %v: %d caller-saved regs", c, len(cs))
+		}
+		conv := map[Reg]bool{m.RetReg(c): true}
+		for _, r := range m.ParamRegs(c) {
+			conv[r] = true
+		}
+		for _, r := range cs[len(cs)-2:] {
+			if conv[r] {
+				t.Errorf("class %v: scratch candidate %s is a convention register", c, m.RegName(r))
+			}
+		}
+	}
+}
+
+func TestTinyShapes(t *testing.T) {
+	for _, tc := range []struct{ ni, nf int }{{3, 2}, {4, 2}, {5, 3}, {6, 4}, {8, 6}, {10, 6}} {
+		m := Tiny(tc.ni, tc.nf)
+		if m.NumRegs() != tc.ni+tc.nf {
+			t.Fatalf("Tiny(%d,%d): NumRegs = %d", tc.ni, tc.nf, m.NumRegs())
+		}
+		checkConventions(t, m)
+		if got := len(m.AllocOrder(ClassInt)); got != tc.ni {
+			t.Errorf("Tiny(%d,%d): %d allocatable ints", tc.ni, tc.nf, got)
+		}
+		if len(m.ParamRegs(ClassInt)) < 2 && tc.ni >= 3 {
+			t.Errorf("Tiny(%d,%d): %d int param regs, want ≥ 2", tc.ni, tc.nf, len(m.ParamRegs(ClassInt)))
+		}
+	}
+	// The conventions the test-suite machines rely on.
+	m := Tiny(8, 4)
+	if len(m.CalleeSavedRegs(ClassInt)) < 2 {
+		t.Errorf("Tiny(8,4): %d callee-saved ints, want ≥ 2", len(m.CalleeSavedRegs(ClassInt)))
+	}
+	if len(m.CallerSavedRegs(ClassInt)) < 4 {
+		t.Errorf("Tiny(8,4): %d caller-saved ints, want ≥ 4", len(m.CallerSavedRegs(ClassInt)))
+	}
+}
+
+func TestTinyTooSmallPanics(t *testing.T) {
+	for _, tc := range []struct{ ni, nf int }{{2, 2}, {3, 1}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Tiny(%d,%d) did not panic", tc.ni, tc.nf)
+				}
+			}()
+			Tiny(tc.ni, tc.nf)
+		}()
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	base := Config{
+		Name: "ok", NumInt: 3, NumFloat: 2,
+		CallerSavedInt: []int{0, 1}, CallerSavedFloat: []int{0},
+		IntParams: []int{1}, FloatParams: []int{1},
+		IntRet: 0, FloatRet: 0,
+	}
+	if _, err := New(base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*Config){
+		"no-int-regs":      func(c *Config) { c.NumInt = 0 },
+		"bad-caller-index": func(c *Config) { c.CallerSavedInt = []int{5} },
+		"bad-param-index":  func(c *Config) { c.FloatParams = []int{9} },
+		"bad-ret-index":    func(c *Config) { c.IntRet = -1 },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: New accepted an invalid config", name)
+		}
+	}
+}
+
+func TestRegAndNames(t *testing.T) {
+	m := Tiny(5, 3)
+	if m.RegName(m.Reg(ClassInt, 2)) != "r2" {
+		t.Errorf("Reg(int,2) = %s", m.RegName(m.Reg(ClassInt, 2)))
+	}
+	if m.RegName(m.Reg(ClassFloat, 1)) != "f1" {
+		t.Errorf("Reg(float,1) = %s", m.RegName(m.Reg(ClassFloat, 1)))
+	}
+	if m.RegClass(m.Reg(ClassFloat, 0)) != ClassFloat {
+		t.Error("float file misclassified")
+	}
+	if !strings.Contains(m.Name, "tiny") {
+		t.Errorf("Name = %q", m.Name)
+	}
+	if got := m.RegName(NoReg); !strings.Contains(got, "?") {
+		t.Errorf("RegName(NoReg) = %q, want a placeholder", got)
+	}
+	if ClassInt.String() != "int" || ClassFloat.String() != "float" {
+		t.Errorf("class names %q/%q", ClassInt.String(), ClassFloat.String())
+	}
+}

@@ -11,13 +11,23 @@
 // an allocation verifier.
 //
 // The pipeline mirrors §3 of the paper: dead-code elimination, register
-// allocation, then a peephole pass that deletes collapsed moves.
+// allocation, then a peephole pass that deletes collapsed moves. The
+// entry point is the Engine, constructed once per machine and reused
+// for any number of allocations:
 //
 //	mach := regalloc.Alpha()
+//	eng, err := regalloc.New(mach,
+//		regalloc.WithAlgorithm("binpack"),
+//		regalloc.WithParallelism(8))
 //	b := regalloc.NewBuilder(mach, 64)
 //	... build IR ...
-//	allocated, results, err := regalloc.AllocateProgram(b.Prog, mach, regalloc.DefaultOptions())
+//	allocated, report, err := eng.AllocateProgram(ctx, b.Prog)
 //	out, err := regalloc.Execute(allocated, mach, input)
+//
+// Allocators are pluggable: Register adds a named factory and
+// WithAlgorithm selects it; Algorithms lists what is available. The
+// free functions AllocateProc, AllocateProgram and NewAllocator remain
+// as deprecated wrappers over a throwaway Engine.
 package regalloc
 
 import (
@@ -25,14 +35,17 @@ import (
 	"strings"
 
 	"repro/internal/alloc"
-	"repro/internal/coloring"
 	"repro/internal/core"
 	"repro/internal/ir"
-	"repro/internal/linearscan"
-	"repro/internal/opt"
 	"repro/internal/target"
 	"repro/internal/verify"
 	"repro/internal/vm"
+
+	// Imported for their registry side effects: the built-in allocators
+	// self-register under "coloring" and "linearscan" ("binpack" and
+	// "twopass" ride in with the core import above).
+	_ "repro/internal/coloring"
+	_ "repro/internal/linearscan"
 )
 
 // Re-exported IR and machine types. These aliases are the supported way
@@ -105,6 +118,22 @@ func Alpha() *Machine { return target.Alpha() }
 // Tiny returns a small machine (useful to force spilling).
 func Tiny(nInt, nFloat int) *Machine { return target.Tiny(nInt, nFloat) }
 
+// ParseMachine parses the machine spec the command-line tools share:
+// "alpha" or "tiny:<ints>,<floats>".
+func ParseMachine(s string) (*Machine, error) {
+	if s == "alpha" {
+		return Alpha(), nil
+	}
+	if rest, ok := strings.CutPrefix(s, "tiny:"); ok {
+		var ni, nf int
+		if _, err := fmt.Sscanf(rest, "%d,%d", &ni, &nf); err != nil {
+			return nil, fmt.Errorf("bad machine %q (want tiny:<ints>,<floats>)", s)
+		}
+		return target.NewTiny(ni, nf)
+	}
+	return nil, fmt.Errorf("unknown machine %q (want alpha or tiny:<ints>,<floats>)", s)
+}
+
 // NewBuilder returns a program builder for a machine.
 func NewBuilder(m *Machine, memWords int) *Builder { return ir.NewBuilder(m, memWords) }
 
@@ -124,6 +153,22 @@ const (
 	LinearScan
 )
 
+// Name returns the registry name of the built-in algorithm, as accepted
+// by WithAlgorithm ("binpack", "twopass", "coloring", "linearscan").
+func (a Algorithm) Name() string {
+	switch a {
+	case SecondChance:
+		return "binpack"
+	case TwoPass:
+		return "twopass"
+	case Coloring:
+		return "coloring"
+	case LinearScan:
+		return "linearscan"
+	}
+	return fmt.Sprintf("algorithm-%d", int(a))
+}
+
 func (a Algorithm) String() string {
 	switch a {
 	case SecondChance:
@@ -138,7 +183,11 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
-// Options configure the allocation pipeline.
+// Options configure the allocation pipeline of the legacy free
+// functions.
+//
+// Deprecated: construct an Engine with New and functional options
+// instead; Options remains for the thin compatibility wrappers.
 type Options struct {
 	Algorithm Algorithm
 	// Binpack tunes the binpacking allocator; ignored by the others.
@@ -157,6 +206,9 @@ type Options struct {
 
 // DefaultOptions mirrors the paper's experimental pipeline with the
 // second-chance allocator and verification enabled.
+//
+// Deprecated: an Engine constructed with New and no options is the
+// equivalent configuration.
 func DefaultOptions() Options {
 	return Options{
 		Algorithm: SecondChance,
@@ -167,58 +219,74 @@ func DefaultOptions() Options {
 	}
 }
 
-// NewAllocator returns the allocator an Options selects.
-func NewAllocator(m *Machine, o Options) Allocator {
-	switch o.Algorithm {
-	case Coloring:
-		return coloring.New(m)
-	case LinearScan:
-		return linearscan.New(m)
-	case TwoPass:
-		bo := o.Binpack
-		bo.SecondChance = false
-		return core.New(m, bo)
+// engineFromOptions bridges the legacy Options struct onto an Engine.
+// Unknown Algorithm values select second-chance binpacking, as the old
+// switch did.
+func engineFromOptions(m *Machine, o Options) (*Engine, error) {
+	algo := o.Algorithm
+	switch algo {
+	case SecondChance, TwoPass, Coloring, LinearScan:
 	default:
-		bo := o.Binpack
-		if !bo.SecondChance {
-			bo = core.DefaultOptions()
-		}
-		return core.New(m, bo)
+		algo = SecondChance
 	}
+	opts := []Option{
+		WithAlgorithm(algo.Name()),
+		WithDCE(o.DCE),
+		WithPeephole(o.Peephole),
+		WithForwardStores(o.ForwardStores),
+		WithVerify(o.Verify),
+		WithParallelism(1),
+	}
+	// The legacy rule: a zero Binpack means "the paper's defaults" for
+	// second-chance, but is taken literally (a bare two-pass) for the
+	// two-pass ablation.
+	if algo == TwoPass || (algo == SecondChance && o.Binpack.SecondChance) {
+		opts = append(opts, WithBinpack(o.Binpack))
+	}
+	return New(m, opts...)
+}
+
+// NewAllocator returns the allocator an Options selects. The returned
+// allocator keeps per-instance scratch buffers: it must not run
+// concurrent Allocate calls (use one instance per goroutine, which is
+// what the Engine's worker pool does).
+//
+// Deprecated: use New with WithAlgorithm; the Engine pools allocator
+// instances and reuses their scratch state.
+func NewAllocator(m *Machine, o Options) Allocator {
+	e, err := engineFromOptions(m, o)
+	if err != nil {
+		// Unreachable: engineFromOptions normalizes the algorithm.
+		panic(err)
+	}
+	return e.factory(m)
 }
 
 // AllocateProc runs the full pipeline on one procedure and returns the
 // rewritten procedure with statistics. The input is not modified.
+//
+// Deprecated: construct an Engine with New and call its AllocateProc;
+// a fresh Engine per call re-allocates the scratch state this wrapper
+// cannot reuse.
 func AllocateProc(p *Proc, m *Machine, o Options) (*Result, error) {
-	in := p
-	if o.DCE {
-		in = p.Clone()
-		opt.DeadCodeElim(in)
-	}
-	res, err := NewAllocator(m, o).Allocate(in)
+	e, err := engineFromOptions(m, o)
 	if err != nil {
 		return nil, err
 	}
-	if o.Verify {
-		if err := verify.Verify(res.Proc, m); err != nil {
-			return nil, err
-		}
-	}
-	if o.ForwardStores {
-		opt.ForwardStores(res.Proc, m)
-	}
-	if o.Peephole {
-		opt.Peephole(res.Proc)
-	}
-	if err := ir.ValidateAllocated(res.Proc, m); err != nil {
-		return nil, fmt.Errorf("regalloc: invalid allocation for %s: %w", p.Name, err)
-	}
-	return res, nil
+	return e.AllocateProc(p)
 }
 
 // AllocateProgram allocates every procedure of prog and returns the
 // allocated program plus per-procedure results (in prog.Procs order).
+//
+// Deprecated: construct an Engine with New and call its
+// AllocateProgram, which adds bounded parallelism, context
+// cancellation and an aggregate Report.
 func AllocateProgram(prog *Program, m *Machine, o Options) (*Program, []*Result, error) {
+	e, err := engineFromOptions(m, o)
+	if err != nil {
+		return nil, nil, err
+	}
 	out := ir.NewProgram(prog.MemWords)
 	out.Main = prog.Main
 	for addr, v := range prog.MemInit {
@@ -226,7 +294,7 @@ func AllocateProgram(prog *Program, m *Machine, o Options) (*Program, []*Result,
 	}
 	var results []*Result
 	for _, p := range prog.Procs {
-		res, err := AllocateProc(p, m, o)
+		res, err := e.AllocateProc(p)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,0 +1,20 @@
+package regalloc
+
+import "repro/internal/alloc"
+
+// Register adds a named allocator factory to the global registry, making
+// it selectable with WithAlgorithm(name). The factory is called once per
+// engine worker; instances it returns are never shared between
+// goroutines, so they may keep per-instance scratch state. Registering a
+// duplicate or empty name, or a nil factory, is an error.
+//
+// The four built-in allocators self-register as "binpack" (the paper's
+// second-chance binpacking), "twopass", "coloring" and "linearscan".
+func Register(name string, factory func(*Machine) Allocator) error {
+	// Machine and Allocator are aliases of the internal types, so the
+	// signature is already an alloc.Factory.
+	return alloc.Register(name, factory)
+}
+
+// Algorithms returns the names of every registered allocator, sorted.
+func Algorithms() []string { return alloc.Names() }
