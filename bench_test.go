@@ -1,17 +1,23 @@
 // Benchmarks regenerating the paper's evaluation, one per table and
-// figure. Run with:
+// figure, plus the steady-state engine benchmark the CI bench job
+// regresses on. Run with:
 //
 //	go test -bench=. -benchmem
 //
 // Each benchmark reports the paper's headline quantity as custom metrics
 // (dynamic instructions, spill percentages, allocation microseconds) in
-// addition to Go's timing of the full pipeline.
+// addition to Go's timing of the full pipeline; every benchmark also
+// reports allocs/op, the second axis the CI regression gate watches (a
+// time/op regression can hide behind machine noise — an allocs/op
+// regression cannot).
 package regalloc_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
+	regalloc "repro"
 	"repro/internal/alloc"
 	"repro/internal/experiments"
 	"repro/internal/progs"
@@ -24,6 +30,7 @@ const benchScale = 0.25 // workload scale for benchmarks (1.0 = full tables)
 func benchAllocator(b *testing.B, bench *progs.Benchmark, mk func(*target.Machine) alloc.Allocator) {
 	mach := target.Alpha()
 	var last vm.Counters
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		scale := int(float64(bench.DefaultScale) * benchScale)
@@ -122,6 +129,7 @@ func BenchmarkTable3(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/%s", mod.Name, scheme.name), func(b *testing.B) {
 				a := scheme.mk(mach)
 				var edges, cands int
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					edges, cands = 0, 0
@@ -143,6 +151,47 @@ func BenchmarkTable3(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkEngineSteadyState measures the engine's batch hot path in
+// steady state: one engine reused across iterations over the Table 3
+// modules, a single worker so phase attribution is exact, verification
+// off (Table 3 times the allocator, not the checker). One warmup batch
+// fills the pooled scratch arenas before the clock starts. The per-phase
+// wall costs from the engine Report are exported as custom metrics
+// (<phase>-ns/op), and allocs/op is the zero-allocation target the CI
+// bench job guards.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	mach := target.Alpha()
+	for _, mod := range progs.Table3Modules(mach) {
+		mod := mod
+		b.Run(mod.Name, func(b *testing.B) {
+			eng, err := regalloc.New(mach,
+				regalloc.WithVerify(false), regalloc.WithParallelism(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			if _, _, err := eng.AllocateProgram(ctx, mod.Prog); err != nil {
+				b.Fatal(err) // warmup: populate the pooled scratch
+			}
+			var rep *regalloc.Report
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, rep, err = eng.AllocateProgram(ctx, mod.Prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			for _, ps := range rep.PhaseStats {
+				if ps.Ns > 0 {
+					b.ReportMetric(float64(ps.Ns), ps.Phase+"-ns/op")
+				}
+			}
+			b.ReportMetric(float64(rep.HeapAllocs), "heap-allocs/op")
+		})
 	}
 }
 

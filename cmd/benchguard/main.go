@@ -1,0 +1,305 @@
+// Command benchguard gates benchmark regressions in CI. It parses two
+// `go test -bench` output files — a committed baseline and a fresh run —
+// pairs benchmarks by name, and fails (exit 1) when a metric regressed
+// both *significantly* (two-sided Mann-Whitney U test over the -count
+// repetitions) and *substantially* (median worsened beyond a per-metric
+// threshold). Requiring both keeps the gate quiet on noisy runners while
+// still catching real regressions; allocs/op is near-deterministic, so
+// its threshold can be tight where time/op's must be loose.
+//
+// benchstat remains the human-readable report (the CI job runs it right
+// before this gate); benchguard is the machine-checkable verdict.
+//
+// Usage:
+//
+//	benchguard -old bench/baseline.txt -new bench-new.txt \
+//	    [-time-threshold 0.35] [-alloc-threshold 0.10] [-alpha 0.05]
+//
+// Benchmarks present in only one file are reported but never fail the
+// gate (renames should not break CI); missing baselines are a warning.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sampleKey identifies one metric series of one benchmark.
+type sampleKey struct {
+	bench  string
+	metric string
+}
+
+// parseBenchFile extracts metric samples from `go test -bench` output.
+// Lines look like:
+//
+//	BenchmarkTable3/fpppp.f/binpack-8  3  76683398 ns/op  20824458 B/op  156519 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped so baselines survive
+// runner-shape changes. Value/unit pairs follow the iteration count.
+func parseBenchFile(path string) (map[sampleKey][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	samples := make(map[sampleKey][]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		name, pairs, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		for _, p := range pairs {
+			k := sampleKey{bench: name, metric: p.unit}
+			samples[k] = append(samples[k], p.value)
+		}
+	}
+	return samples, sc.Err()
+}
+
+type metricPair struct {
+	value float64
+	unit  string
+}
+
+func parseBenchLine(line string) (name string, pairs []metricPair, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	name = fields[0]
+	// Strip the -GOMAXPROCS suffix go test appends to the name.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", nil, false // second field must be the iteration count
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		pairs = append(pairs, metricPair{value: v, unit: fields[i+1]})
+	}
+	return name, pairs, len(pairs) > 0
+}
+
+// median returns the middle of a sorted copy of xs.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// mannWhitneyP returns the two-sided p-value of the Mann-Whitney U test
+// for samples a vs b, using the normal approximation with tie
+// correction. For the small sample counts CI uses (-count 6) the
+// approximation is conservative enough for gating; exactness matters
+// less than the threshold it is combined with.
+func mannWhitneyP(a, b []float64) float64 {
+	n1, n2 := float64(len(a)), float64(len(b))
+	if n1 == 0 || n2 == 0 {
+		return 1
+	}
+	type obs struct {
+		v     float64
+		fromA bool
+	}
+	all := make([]obs, 0, len(a)+len(b))
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Rank with midranks for ties, accumulating the tie correction.
+	ranks := make([]float64, len(all))
+	tieCorr := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		r := float64(i+j+1) / 2 // average 1-based rank of the tied run
+		for k := i; k < j; k++ {
+			ranks[k] = r
+		}
+		t := float64(j - i)
+		tieCorr += t*t*t - t
+		i = j
+	}
+	var r1 float64
+	for i, o := range all {
+		if o.fromA {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - n1*(n1+1)/2
+	mu := n1 * n2 / 2
+	n := n1 + n2
+	sigma2 := n1 * n2 / 12 * ((n + 1) - tieCorr/(n*(n-1)))
+	if sigma2 <= 0 {
+		// All observations identical: no evidence of a difference.
+		return 1
+	}
+	z := (u1 - mu) / math.Sqrt(sigma2)
+	if z > 0 {
+		z = z - 0.5/math.Sqrt(sigma2) // continuity correction
+	} else if z < 0 {
+		z = z + 0.5/math.Sqrt(sigma2)
+	}
+	p := 2 * (1 - normCDF(math.Abs(z)))
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+func normCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// thresholds maps a metric unit to the maximum tolerated relative median
+// regression; metrics not listed are informational only.
+func thresholds(timeThresh, allocThresh float64) map[string]float64 {
+	return map[string]float64{
+		"ns/op":     timeThresh,
+		"sec/op":    timeThresh,
+		"allocs/op": allocThresh,
+	}
+}
+
+func main() {
+	var (
+		oldPath     = flag.String("old", "", "baseline `file` (go test -bench output)")
+		newPath     = flag.String("new", "", "candidate `file` (go test -bench output)")
+		timeThresh  = flag.Float64("time-threshold", 0.35, "max tolerated relative time/op median regression")
+		allocThresh = flag.Float64("alloc-threshold", 0.10, "max tolerated relative allocs/op median regression")
+		alpha       = flag.Float64("alpha", 0.05, "significance level for the Mann-Whitney test")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldS, err := parseBenchFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	newS, err := parseBenchFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+
+	gate := thresholds(*timeThresh, *allocThresh)
+	var keys []sampleKey
+	for k := range newS {
+		if _, watched := gate[k.metric]; watched {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		// No gated series at all means the benchmark run produced no
+		// data (crashed, truncated, wrong file): that is a failure, not
+		// a pass — the gate must never be green on silence.
+		fmt.Fprintln(os.Stderr, "benchguard: no time/op or allocs/op series found in", *newPath)
+		os.Exit(1)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].bench != keys[j].bench {
+			return keys[i].bench < keys[j].bench
+		}
+		return keys[i].metric < keys[j].metric
+	})
+
+	regressions := 0
+	missing := 0
+	for _, k := range keys {
+		oldV, ok := oldS[k]
+		if !ok {
+			missing++
+			fmt.Printf("NEW      %-60s %-10s (no baseline)\n", k.bench, k.metric)
+			continue
+		}
+		om, nm := median(oldV), median(newS[k])
+		p := mannWhitneyP(oldV, newS[k])
+		verdict := "ok"
+		deltaStr := "n/a"
+		if om > 0 {
+			delta := (nm - om) / om
+			deltaStr = fmt.Sprintf("%+.1f%%", 100*delta)
+			if delta > gate[k.metric] && p < *alpha {
+				verdict = "REGRESSION"
+				regressions++
+			}
+		} else if nm > 0 {
+			// A zero baseline is a hard-won floor (0 allocs/op is this
+			// repo's stated steady-state target): any significant move
+			// off it is a regression, relative delta or not.
+			deltaStr = "from-zero"
+			if p < *alpha {
+				verdict = "REGRESSION"
+				regressions++
+			}
+		}
+		fmt.Printf("%-8s %-60s %-10s old=%.4g new=%.4g delta=%s p=%.3f\n",
+			verdict, k.bench, k.metric, om, nm, deltaStr, p)
+	}
+	// Baseline series with no counterpart in the fresh run: guarded
+	// coverage shrank (a benchmark was deleted or renamed). Reported so
+	// the reader sees it, but never a failure — renames must not break
+	// CI.
+	gone := 0
+	var goneKeys []sampleKey
+	for k := range oldS {
+		if _, watched := gate[k.metric]; !watched {
+			continue
+		}
+		if _, ok := newS[k]; !ok {
+			goneKeys = append(goneKeys, k)
+		}
+	}
+	sort.Slice(goneKeys, func(i, j int) bool {
+		if goneKeys[i].bench != goneKeys[j].bench {
+			return goneKeys[i].bench < goneKeys[j].bench
+		}
+		return goneKeys[i].metric < goneKeys[j].metric
+	})
+	for _, k := range goneKeys {
+		gone++
+		fmt.Printf("GONE     %-60s %-10s (in baseline, missing from this run)\n", k.bench, k.metric)
+	}
+	if missing > 0 {
+		fmt.Printf("benchguard: %d series have no baseline (informational)\n", missing)
+	}
+	if gone > 0 {
+		fmt.Printf("benchguard: %d baseline series disappeared — regenerate bench/baseline.txt if intentional\n", gone)
+	}
+	if regressions > 0 {
+		fmt.Printf("benchguard: %d significant regression(s) beyond threshold\n", regressions)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: no significant regressions")
+}

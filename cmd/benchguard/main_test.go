@@ -1,0 +1,123 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	name, pairs, ok := parseBenchLine(
+		"BenchmarkTable3/fpppp.f/binpack-8 \t 3\t  76683398 ns/op\t      6903 candidates\t20824458 B/op\t  156519 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if name != "BenchmarkTable3/fpppp.f/binpack" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix must be stripped)", name)
+	}
+	want := map[string]float64{
+		"ns/op": 76683398, "candidates": 6903, "B/op": 20824458, "allocs/op": 156519,
+	}
+	if len(pairs) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(pairs), len(want))
+	}
+	for _, p := range pairs {
+		if want[p.unit] != p.value {
+			t.Errorf("%s = %v, want %v", p.unit, p.value, want[p.unit])
+		}
+	}
+
+	// A benchmark named with a literal dash segment keeps its name.
+	name, _, ok = parseBenchLine("BenchmarkFigure3/doduc-b-8 \t 1\t 123 ns/op")
+	if !ok || name != "BenchmarkFigure3/doduc-b" {
+		t.Fatalf("dash-named benchmark parsed as %q", name)
+	}
+
+	for _, bad := range []string{
+		"", "ok  repro 1.2s", "goos: linux", "PASS",
+		"BenchmarkX", "BenchmarkX notanint 5 ns/op",
+	} {
+		if _, _, ok := parseBenchLine(bad); ok {
+			t.Errorf("parsed non-benchmark line %q", bad)
+		}
+	}
+}
+
+func TestParseBenchFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.txt")
+	content := `goos: linux
+goarch: amd64
+BenchmarkA-8   3   100 ns/op   10 allocs/op
+BenchmarkA-8   3   110 ns/op   10 allocs/op
+BenchmarkB-8   3   50 ns/op
+PASS
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := parseBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s[sampleKey{"BenchmarkA", "ns/op"}]; len(got) != 2 || got[0] != 100 || got[1] != 110 {
+		t.Fatalf("BenchmarkA ns/op samples = %v", got)
+	}
+	if got := s[sampleKey{"BenchmarkB", "ns/op"}]; len(got) != 1 || got[0] != 50 {
+		t.Fatalf("BenchmarkB ns/op samples = %v", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median odd = %v", m)
+	}
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("median even = %v", m)
+	}
+	if !math.IsNaN(median(nil)) {
+		t.Fatal("median of empty not NaN")
+	}
+}
+
+// TestZeroBaselineRegression pins the from-zero rule: a benchmark whose
+// baseline hit 0 allocs/op must trip the gate when allocations return,
+// even though no relative delta exists.
+func TestZeroBaselineRegression(t *testing.T) {
+	zero := []float64{0, 0, 0, 0, 0, 0}
+	back := []float64{10000, 10001, 9999, 10000, 10002, 9998}
+	if p := mannWhitneyP(zero, back); p >= 0.05 {
+		t.Fatalf("from-zero jump not significant: p=%v", p)
+	}
+	// Still-zero stays quiet.
+	if p := mannWhitneyP(zero, zero); p < 0.5 {
+		t.Fatalf("all-zero vs all-zero p=%v", p)
+	}
+}
+
+func TestMannWhitney(t *testing.T) {
+	// Clearly separated samples: significant.
+	a := []float64{100, 101, 99, 100, 102, 98}
+	b := []float64{150, 151, 149, 150, 152, 148}
+	if p := mannWhitneyP(a, b); p >= 0.05 {
+		t.Fatalf("separated samples p = %v, want < 0.05", p)
+	}
+	// Identical samples: no evidence.
+	if p := mannWhitneyP(a, a); p < 0.5 {
+		t.Fatalf("identical samples p = %v, want ~1", p)
+	}
+	// Heavily overlapping samples: not significant.
+	c := []float64{100, 103, 97, 101, 99, 102}
+	d := []float64{101, 98, 104, 100, 102, 99}
+	if p := mannWhitneyP(c, d); p < 0.05 {
+		t.Fatalf("overlapping samples p = %v, want >= 0.05", p)
+	}
+	// Degenerate inputs must not panic or claim significance.
+	if p := mannWhitneyP(nil, b); p != 1 {
+		t.Fatalf("empty sample p = %v", p)
+	}
+	if p := mannWhitneyP([]float64{5, 5, 5}, []float64{5, 5, 5}); p != 1 {
+		t.Fatalf("all-ties p = %v", p)
+	}
+}

@@ -11,8 +11,11 @@
 //
 // Use -scale to shrink or grow the workloads (1.0 reproduces the default
 // experiment size). With -json, every selected section is emitted as one
-// machine-readable JSON object on stdout (the shape future PRs track in
-// BENCH_*.json); -alloc sections carry the engine's aggregate Report.
+// machine-readable JSON object on stdout (the shape BENCH_*.json files
+// track; the CI bench job uploads it as an artifact); -alloc sections
+// carry the engine's aggregate Report including its per-phase PhaseStats
+// breakdown and batch heap counters. -phases additionally samples heap
+// allocations at every phase boundary (engine WithPhaseProfile).
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	regalloc "repro"
 	"repro/internal/experiments"
@@ -57,6 +61,7 @@ func main() {
 		jsonOut = flag.Bool("json", false, "emit the selected sections as JSON")
 		algo    = flag.String("algo", "binpack", "allocator for -alloc reports")
 		jobs    = flag.Int("jobs", 0, "parallel workers for -alloc (0 = all CPUs)")
+		phases  = flag.Bool("phases", false, "sample per-phase heap allocations in -alloc reports")
 	)
 	flag.Parse()
 	if *all {
@@ -102,9 +107,19 @@ func main() {
 		}
 	}
 	if *allocF {
+		jobsN := *jobs
+		if *phases && jobsN != 1 {
+			// Heap counters are process-global: exact per-phase alloc
+			// attribution needs a single worker.
+			if jobsN != 0 {
+				fmt.Fprintf(os.Stderr, "lsra-bench: -phases forces -jobs 1 (was %d); wall times are serial\n", jobsN)
+			}
+			jobsN = 1
+		}
 		eng, err := regalloc.New(mach,
 			regalloc.WithAlgorithm(*algo),
-			regalloc.WithParallelism(*jobs))
+			regalloc.WithParallelism(jobsN),
+			regalloc.WithPhaseProfile(*phases))
 		if err != nil {
 			die(err)
 		}
@@ -194,13 +209,27 @@ func printText(out *benchOutput) {
 
 	if out.Allocation != nil {
 		fmt.Println("Allocation: engine aggregate per benchmark")
-		fmt.Printf("%-12s %-12s %8s %12s %10s %12s\n",
-			"benchmark", "algorithm", "procs", "candidates", "spilled", "wall")
+		fmt.Printf("%-12s %-12s %8s %12s %10s %12s %12s\n",
+			"benchmark", "algorithm", "procs", "candidates", "spilled", "wall", "heap-allocs")
 		for _, ar := range out.Allocation {
 			rep := ar.Report
-			fmt.Printf("%-12s %-12s %8d %12d %10d %12v\n",
+			fmt.Printf("%-12s %-12s %8d %12d %10d %12v %12d\n",
 				ar.Benchmark, rep.Algorithm, len(rep.Procs),
-				rep.Totals.Candidates, rep.Totals.SpilledTemps, rep.WallTime.Round(0))
+				rep.Totals.Candidates, rep.Totals.SpilledTemps, rep.WallTime.Round(0),
+				rep.HeapAllocs)
+			if len(rep.PhaseStats) > 0 {
+				fmt.Printf("    phases:")
+				for _, ps := range rep.PhaseStats {
+					if ps.Ns == 0 {
+						continue
+					}
+					fmt.Printf(" %s %v (%.0f%%)", ps.Phase, time.Duration(ps.Ns).Round(time.Microsecond), 100*ps.Share)
+					if ps.Allocs > 0 {
+						fmt.Printf(" [%d allocs]", ps.Allocs)
+					}
+				}
+				fmt.Println()
+			}
 		}
 	}
 }

@@ -30,6 +30,7 @@ type Engine struct {
 	forwardStores bool
 	verify        bool
 	parallelism   int
+	profilePhases bool
 	observer      Observer
 
 	factory alloc.Factory
@@ -112,6 +113,21 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithPhaseProfile annotates the per-phase nanosecond timings every
+// Report carries with heap-allocation counters, sampled from
+// runtime/metrics at each phase boundary. Sampling is cheap but not
+// free, so it is off by default; timings alone are always collected.
+// The engine enables sampling on every pooled allocator implementing
+// PhaseProfiler (all four built-ins do); other allocators report their
+// phases with zero alloc counters. Heap counters are process-global, so
+// per-phase allocation figures are only exact under WithParallelism(1).
+func WithPhaseProfile(on bool) Option {
+	return func(e *Engine) error {
+		e.profilePhases = on
+		return nil
+	}
+}
+
 // WithObserver installs a hook that receives one Event per procedure as
 // AllocateProgram completes it. Events are delivered serially (the
 // engine holds a lock), but under parallelism they may arrive out of
@@ -147,14 +163,33 @@ type ProcReport struct {
 	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
+// PhaseStat is one pipeline phase's aggregate cost across a batch:
+// summed wall time, its share of the total phase time, and — when the
+// engine was built WithPhaseProfile — heap allocations attributed to
+// the phase.
+type PhaseStat struct {
+	Phase  string  `json:"phase"`
+	Ns     int64   `json:"ns"`
+	Share  float64 `json:"share"`
+	Allocs uint64  `json:"allocs,omitempty"`
+	Bytes  uint64  `json:"bytes,omitempty"`
+}
+
 // Report aggregates one AllocateProgram run: per-procedure statistics in
-// input order, their totals, and the batch wall time.
+// input order, their totals, the per-phase cost breakdown, and the batch
+// wall time. HeapAllocs/HeapBytes are the process's heap-allocation
+// deltas over the batch (approximate: concurrent activity outside the
+// engine is included), the coarse steady-state allocs-per-batch figure
+// the bench suite regresses on.
 type Report struct {
 	Algorithm   string        `json:"algorithm"`
 	Machine     string        `json:"machine"`
 	Parallelism int           `json:"parallelism"`
 	Procs       []ProcReport  `json:"procs"`
 	Totals      Stats         `json:"totals"`
+	PhaseStats  []PhaseStat   `json:"phase_stats,omitempty"`
+	HeapAllocs  uint64        `json:"heap_allocs"`
+	HeapBytes   uint64        `json:"heap_bytes"`
 	WallTime    time.Duration `json:"wall_time_ns"`
 }
 
@@ -197,7 +232,15 @@ func New(mach *Machine, opts ...Option) (*Engine, error) {
 		}
 		e.factory = f
 	}
-	e.pool.New = func() any { return e.factory(e.mach) }
+	e.pool.New = func() any {
+		a := e.factory(e.mach)
+		if e.profilePhases {
+			if pp, ok := a.(alloc.PhaseProfiler); ok {
+				pp.SetPhaseProfile(true)
+			}
+		}
+		return a
+	}
 	return e, nil
 }
 
@@ -209,23 +252,51 @@ func (e *Engine) Algorithm() string { return e.algorithm }
 
 // AllocateProc runs the configured pipeline on one procedure and
 // returns the rewritten procedure with statistics. The input is not
-// modified. Safe for concurrent use.
+// modified: the engine clones it once and drives the allocator through
+// its owned-procedure fast path, so the clone is the only defensive copy
+// on the whole pipeline. Safe for concurrent use.
 func (e *Engine) AllocateProc(p *Proc) (*Result, error) {
-	in := p
-	if e.dce {
-		in = p.Clone()
-		opt.DeadCodeElim(in)
-	}
+	tm := alloc.NewTimer(e.profilePhases)
+	var engineStats Stats // phases the engine itself accounts for
+
 	a := e.pool.Get().(Allocator)
-	res, err := a.Allocate(in)
+	var res *Result
+	var err error
+	if oa, ok := a.(alloc.OwnedAllocator); ok {
+		in := p.Clone()
+		tm.Mark(&engineStats, alloc.PhaseOther)
+		if e.dce {
+			opt.DeadCodeElim(in)
+			tm.Mark(&engineStats, alloc.PhaseOpt)
+		}
+		res, err = oa.AllocateOwned(in)
+	} else {
+		in := p
+		if e.dce {
+			in = p.Clone()
+			tm.Mark(&engineStats, alloc.PhaseOther)
+			opt.DeadCodeElim(in)
+			tm.Mark(&engineStats, alloc.PhaseOpt)
+		}
+		res, err = a.Allocate(in)
+	}
 	e.pool.Put(a)
 	if err != nil {
 		return nil, err
+	}
+	if res.Stats.Phases.TotalNs() > 0 {
+		tm.Skip() // the allocator timed its own phases
+	} else {
+		// An external allocator with no phase instrumentation of its
+		// own: charge its whole span to the scan phase rather than
+		// dropping it, so PhaseStats shares stay meaningful.
+		tm.Mark(&engineStats, alloc.PhaseScan)
 	}
 	if e.verify {
 		if err := verify.Verify(res.Proc, e.mach); err != nil {
 			return nil, err
 		}
+		tm.Mark(&engineStats, alloc.PhaseVerify)
 	}
 	if e.forwardStores {
 		opt.ForwardStores(res.Proc, e.mach)
@@ -233,9 +304,12 @@ func (e *Engine) AllocateProc(p *Proc) (*Result, error) {
 	if e.peephole {
 		opt.Peephole(res.Proc)
 	}
+	tm.Mark(&engineStats, alloc.PhaseOpt)
 	if err := ir.ValidateAllocated(res.Proc, e.mach); err != nil {
 		return nil, fmt.Errorf("regalloc: invalid allocation for %s: %w", p.Name, err)
 	}
+	tm.Mark(&engineStats, alloc.PhaseOther)
+	res.Stats.Phases.Add(engineStats.Phases)
 	return res, nil
 }
 
@@ -252,6 +326,7 @@ func (e *Engine) AllocateProgram(ctx context.Context, prog *Program) (*Program, 
 		ctx = context.Background()
 	}
 	start := time.Now()
+	heapAllocs0, heapBytes0 := alloc.HeapCounters()
 	procs := prog.Procs
 	results := make([]*Result, len(procs))
 	elapsed := make([]time.Duration, len(procs))
@@ -334,8 +409,32 @@ func (e *Engine) AllocateProgram(ctx context.Context, prog *Program) (*Program, 
 		rep.Procs = append(rep.Procs, ProcReport{Proc: procs[i].Name, Stats: res.Stats, Elapsed: elapsed[i]})
 		rep.Totals.Add(res.Stats)
 	}
+	rep.PhaseStats = phaseStats(rep.Totals.Phases)
+	heapAllocs1, heapBytes1 := alloc.HeapCounters()
+	rep.HeapAllocs = heapAllocs1 - heapAllocs0
+	rep.HeapBytes = heapBytes1 - heapBytes0
 	rep.WallTime = time.Since(start)
 	return out, rep, nil
+}
+
+// phaseStats renders aggregated phase samples as the Report's PhaseStats
+// section, in phase declaration order.
+func phaseStats(pt alloc.PhaseTimes) []PhaseStat {
+	total := pt.TotalNs()
+	stats := make([]PhaseStat, 0, alloc.NumPhases)
+	for i := range pt {
+		s := PhaseStat{
+			Phase:  alloc.Phase(i).String(),
+			Ns:     pt[i].Ns,
+			Allocs: pt[i].Allocs,
+			Bytes:  pt[i].Bytes,
+		}
+		if total > 0 {
+			s.Share = float64(pt[i].Ns) / float64(total)
+		}
+		stats = append(stats, s)
+	}
+	return stats
 }
 
 // observe delivers one event to the observer hook, serialized so the

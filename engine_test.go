@@ -269,20 +269,20 @@ func TestEngineParallelDeterminismRandom(t *testing.T) {
 	}
 
 	// A many-procedure module actually saturates the worker pool. The
-	// verifier stays off here, as in Table 3: module programs are
-	// compile-time workloads with structurally-possible use-before-def
-	// paths the conservative verifier rejects for whole-lifetime
-	// allocators (see ROADMAP open items).
+	// verifier runs here too: its zero-initialized-temp rule accepts
+	// whole-lifetime allocations of module programs whose defs sit on
+	// structurally-skippable paths (formerly a ROADMAP open item that
+	// forced WithVerify(false)).
 	alpha := regalloc.Alpha()
 	mod := progs.BuildModule(alpha, "det-module", 16, 60, 2).Prog
 	for _, algo := range []string{"binpack", "coloring"} {
 		s, err := regalloc.New(alpha, regalloc.WithAlgorithm(algo),
-			regalloc.WithParallelism(1), regalloc.WithVerify(false))
+			regalloc.WithParallelism(1))
 		if err != nil {
 			t.Fatal(err)
 		}
 		p, err := regalloc.New(alpha, regalloc.WithAlgorithm(algo),
-			regalloc.WithParallelism(8), regalloc.WithVerify(false))
+			regalloc.WithParallelism(8))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -296,6 +296,25 @@ func TestEngineParallelDeterminismRandom(t *testing.T) {
 		}
 		if dumpProgram(sProg, alpha) != dumpProgram(pProg, alpha) {
 			t.Fatalf("module %s: parallel dump differs from serial", algo)
+		}
+	}
+}
+
+// TestVerifierAcceptsWholeLifetimeOnModules pins the fix for the ROADMAP
+// open item: module programs place defs on structurally-skippable loop
+// paths, and the verifier's zero-initialized-temp rule must accept the
+// whole-lifetime allocators (coloring, linearscan, twopass) on them with
+// verification enabled.
+func TestVerifierAcceptsWholeLifetimeOnModules(t *testing.T) {
+	mach := regalloc.Alpha()
+	mod := progs.BuildModule(mach, "verify-module", 6, 120, 2).Prog
+	for _, algo := range []string{"binpack", "twopass", "coloring", "linearscan"} {
+		eng, err := regalloc.New(mach, regalloc.WithAlgorithm(algo), regalloc.WithVerify(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := eng.AllocateProgram(context.Background(), mod); err != nil {
+			t.Errorf("%s: verified module allocation failed: %v", algo, err)
 		}
 	}
 }
@@ -339,6 +358,95 @@ func TestEngineObserver(t *testing.T) {
 	}
 	if rep.Algorithm != "binpack" || rep.Machine != mach.Name {
 		t.Fatalf("report header %q/%q wrong", rep.Algorithm, rep.Machine)
+	}
+}
+
+// TestEnginePhaseStats checks the Report's phase breakdown: every run
+// reports per-phase timings whose sum matches the totals, and
+// WithPhaseProfile annotates phases with allocation counters.
+func TestEnginePhaseStats(t *testing.T) {
+	mach := regalloc.Alpha()
+	prog := progs.Named("fpppp").Build(mach, 1)
+	eng, err := regalloc.New(mach, regalloc.WithParallelism(1), regalloc.WithPhaseProfile(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := eng.AllocateProgram(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PhaseStats) == 0 {
+		t.Fatal("report has no PhaseStats")
+	}
+	var sumNs int64
+	var share float64
+	seen := map[string]bool{}
+	for _, ps := range rep.PhaseStats {
+		if ps.Ns < 0 {
+			t.Errorf("phase %s has negative time", ps.Phase)
+		}
+		sumNs += ps.Ns
+		share += ps.Share
+		seen[ps.Phase] = true
+	}
+	for _, want := range []string{"cfg", "dataflow", "lifetime", "scan", "moves", "opt", "verify", "other"} {
+		if !seen[want] {
+			t.Errorf("phase %q missing from PhaseStats", want)
+		}
+	}
+	if sumNs != rep.Totals.Phases.TotalNs() || sumNs <= 0 {
+		t.Fatalf("phase ns sum %d disagrees with totals %d", sumNs, rep.Totals.Phases.TotalNs())
+	}
+	if share < 0.99 || share > 1.01 {
+		t.Fatalf("phase shares sum to %v, want ~1", share)
+	}
+	// fpppp at scale 1 spills: the scan phase must both take time and,
+	// under WithPhaseProfile, report allocation traffic somewhere.
+	var allocs uint64
+	for _, ps := range rep.PhaseStats {
+		allocs += ps.Allocs
+	}
+	if allocs == 0 {
+		t.Fatal("WithPhaseProfile(true) reported zero allocations across all phases")
+	}
+	if rep.HeapAllocs == 0 || rep.HeapBytes == 0 {
+		t.Fatal("batch heap counters missing")
+	}
+
+	// Registry allocators honor profiling through PhaseProfiler.
+	col, err := regalloc.New(mach, regalloc.WithAlgorithm("coloring"),
+		regalloc.WithParallelism(1), regalloc.WithPhaseProfile(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, colRep, err := col.AllocateProgram(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var colAllocs uint64
+	for _, ps := range colRep.PhaseStats {
+		colAllocs += ps.Allocs
+	}
+	if colAllocs == 0 {
+		t.Fatal("coloring under WithPhaseProfile reported zero allocs across phases")
+	}
+
+	// Without profiling, timings still arrive but alloc counters are 0.
+	plain, err := regalloc.New(mach, regalloc.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep2, err := plain.AllocateProgram(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Totals.Phases.TotalNs() <= 0 {
+		t.Fatal("phase timings missing without profiling")
+	}
+	for _, ps := range rep2.PhaseStats {
+		if ps.Allocs != 0 {
+			t.Fatalf("phase %s has alloc counters without WithPhaseProfile", ps.Phase)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/ir"
+	"repro/internal/scratch"
 	"repro/internal/target"
 )
 
@@ -17,6 +18,24 @@ import (
 type Allocator interface {
 	Name() string
 	Allocate(p *ir.Proc) (*Result, error)
+}
+
+// OwnedAllocator is implemented by allocators that can consume a
+// procedure the caller owns outright: AllocateOwned rewrites p in place
+// (p must not be used afterwards) and skips the defensive clone that
+// Allocate performs. The engine uses it so a procedure is cloned exactly
+// once per pipeline run instead of once per pass.
+type OwnedAllocator interface {
+	AllocateOwned(p *ir.Proc) (*Result, error)
+}
+
+// PhaseProfiler is implemented by allocators that can annotate their
+// per-phase timings with heap-allocation deltas. The engine calls
+// SetPhaseProfile(true) on every pooled instance when it was built with
+// phase profiling enabled; allocators that do not implement it simply
+// report timings with zero alloc counters.
+type PhaseProfiler interface {
+	SetPhaseProfile(on bool)
 }
 
 // Result is a finished allocation.
@@ -45,6 +64,10 @@ type Stats struct {
 	// construction, liveness and loop analysis is excluded, as in §3.2).
 	AllocTime time.Duration
 
+	// Phases breaks the pipeline's wall time (and, under profiling,
+	// heap allocations) down by stage; see Phase for the stages.
+	Phases PhaseTimes `json:"phases"`
+
 	// Coloring-specific: interference graph size summed over rounds and
 	// the number of build/color rounds (Table 3 reports edges "over all
 	// coloring iterations").
@@ -59,6 +82,7 @@ func (s *Stats) Add(o Stats) {
 	s.SpilledTemps += o.SpilledTemps
 	s.UsedCalleeSaved += o.UsedCalleeSaved
 	s.AllocTime += o.AllocTime
+	s.Phases.Add(o.Phases)
 	s.InterferenceEdges += o.InterferenceEdges
 	s.Rounds += o.Rounds
 	for i, c := range o.Inserted {
@@ -100,12 +124,26 @@ type Frame struct {
 
 // NewFrame returns an empty frame for p.
 func NewFrame(p *ir.Proc) *Frame {
-	f := &Frame{proc: p, slotOf: make([]int, p.NumTemps())}
+	f := &Frame{}
+	f.Reset(p)
+	return f
+}
+
+// Reset re-targets f at p with no slots assigned, reusing the backing
+// array when capacity allows. Pooled allocator scratch resets one frame
+// per allocation instead of allocating a fresh one.
+func (f *Frame) Reset(p *ir.Proc) {
+	f.proc = p
+	f.slotOf = scratch.Grow(f.slotOf, p.NumTemps())
 	for i := range f.slotOf {
 		f.slotOf[i] = -1
 	}
-	return f
 }
+
+// Release drops the frame's procedure reference once allocation is
+// done. A pooled frame would otherwise pin the last rewritten
+// procedure (and its arena-backed clone) until the next Reset.
+func (f *Frame) Release() { f.proc = nil }
 
 // SlotOf returns t's home slot, allocating it on first use.
 func (f *Frame) SlotOf(t ir.Temp) int {
@@ -130,10 +168,12 @@ func (f *Frame) NumSpilled() int {
 }
 
 // InsertCalleeSaves inserts prologue saves and pre-return restores for
-// every used callee-saved register and returns how many were used. Both
-// allocators need this: using a callee-saved register obligates the
-// procedure to preserve its value.
-func InsertCalleeSaves(p *ir.Proc, mach *target.Machine, used map[target.Reg]bool) int {
+// every used callee-saved register and returns how many were used. used
+// is indexed by register number (a dense RegSet; allocators keep one in
+// their pooled scratch instead of a per-run map). Both allocators need
+// this: using a callee-saved register obligates the procedure to
+// preserve its value.
+func InsertCalleeSaves(p *ir.Proc, mach *target.Machine, used []bool) int {
 	var regs []target.Reg
 	for c := target.Class(0); c < target.NumClasses; c++ {
 		for _, r := range mach.CalleeSavedRegs(c) {

@@ -45,7 +45,8 @@ func TestInsertCalleeSaves(t *testing.T) {
 	pb.Ret(z)
 
 	callee := mach.CalleeSavedRegs(target.ClassInt)
-	used := map[target.Reg]bool{callee[0]: true, callee[1]: true}
+	used := make([]bool, mach.NumRegs())
+	used[callee[0]], used[callee[1]] = true, true
 	n := InsertCalleeSaves(pb.P, mach, used)
 	if n != 2 {
 		t.Fatalf("inserted %d saves, want 2", n)

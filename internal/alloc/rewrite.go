@@ -62,10 +62,10 @@ func PickScratch(mach *target.Machine) ScratchRegs {
 // RewriteAssigned rewrites p in place according to a whole-lifetime
 // assignment. References to memory-resident temporaries load into / store
 // from scratch registers around each instruction (tags TagScanLoad /
-// TagScanStore). Returns the set of callee-saved registers used so the
-// caller can insert saves.
-func RewriteAssigned(p *ir.Proc, mach *target.Machine, asn *Assignment, frame *Frame, scratch ScratchRegs) map[target.Reg]bool {
-	usedCallee := make(map[target.Reg]bool)
+// TagScanStore). Callee-saved registers used by the rewrite are recorded
+// in usedCallee (indexed by register number) so the caller can insert
+// saves.
+func RewriteAssigned(p *ir.Proc, mach *target.Machine, asn *Assignment, frame *Frame, scratch ScratchRegs, usedCallee []bool) {
 	noteUse := func(r target.Reg) {
 		if !mach.CallerSaved(r) {
 			usedCallee[r] = true
@@ -163,5 +163,4 @@ func RewriteAssigned(p *ir.Proc, mach *target.Machine, asn *Assignment, frame *F
 		}
 		b.Instrs = out
 	}
-	return usedCallee
 }

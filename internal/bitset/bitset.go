@@ -35,6 +35,46 @@ func New(n int) *Set {
 // Len returns the universe size the set was created with.
 func (s *Set) Len() int { return s.n }
 
+// Reset reshapes s to an empty set over a universe of n elements. The
+// backing array is reused whenever its capacity allows, so steady-state
+// reuse of one Set across analyses of similar size performs no
+// allocation. This is the growth/reuse primitive the pooled dataflow and
+// allocator scratch arenas are built on.
+func (s *Set) Reset(n int) {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	nw := (n + wordBits - 1) / wordBits
+	if cap(s.words) < nw {
+		s.words = make([]uint64, nw)
+	} else {
+		s.words = s.words[:nw]
+		clear(s.words)
+	}
+	s.n = n
+}
+
+// Rank returns the number of members of s strictly less than i. Together
+// with ForEach's ascending order this lets dense side arrays be indexed
+// by set membership: the k-th member visited has rank k.
+func (s *Set) Rank(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i > s.n {
+		i = s.n
+	}
+	wi := i / wordBits
+	c := 0
+	for _, w := range s.words[:wi] {
+		c += bits.OnesCount64(w)
+	}
+	if b := i % wordBits; b != 0 {
+		c += bits.OnesCount64(s.words[wi] & (1<<uint(b) - 1))
+	}
+	return c
+}
+
 // Contains reports whether i is a member of s.
 func (s *Set) Contains(i int) bool {
 	if i < 0 || i >= s.n {
@@ -63,6 +103,17 @@ func (s *Set) Remove(i int) {
 func (s *Set) Clear() {
 	for i := range s.words {
 		s.words[i] = 0
+	}
+}
+
+// Fill makes s the full universe {0..n-1} (the top element of a
+// must-analysis lattice).
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if r := s.n % wordBits; r != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] = 1<<uint(r) - 1
 	}
 }
 
@@ -175,6 +226,86 @@ func (s *Set) String() string {
 	b.WriteByte('}')
 	return b.String()
 }
+
+// CountRange returns the number of members of s in [lo, hi). Together
+// with Rank it supports incremental rank cursors: for ascending queries
+// g0 < g1, Rank(g1) = Rank(g0) + CountRange(g0, g1), which turns a
+// sequence of rank lookups into one overall pass over the words.
+func (s *Set) CountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	lw, hw := lo/wordBits, hi/wordBits
+	loMask := ^uint64(0) << uint(lo%wordBits)
+	if lw == hw {
+		hiMask := uint64(1)<<uint(hi%wordBits) - 1
+		return bits.OnesCount64(s.words[lw] & loMask & hiMask)
+	}
+	c := bits.OnesCount64(s.words[lw] & loMask)
+	for i := lw + 1; i < hw; i++ {
+		c += bits.OnesCount64(s.words[i])
+	}
+	if r := hi % wordBits; r != 0 {
+		c += bits.OnesCount64(s.words[hw] & (1<<uint(r) - 1))
+	}
+	return c
+}
+
+// Slab carves many equally-sized Sets out of a single backing array. A
+// dataflow problem over nb blocks needs O(nb) sets of one universe size;
+// allocating them individually is the dominant allocation cost of the
+// analysis, while a slab costs two allocations — and zero once it is
+// reused, because Reset reshapes the existing backing in place. Sets
+// handed out by a slab remain valid until the next Reset; they must not
+// be retained beyond it. The zero value is an empty slab ready for Reset.
+type Slab struct {
+	sets  []Set
+	words []uint64
+}
+
+// NewSlab returns a slab of count empty sets, each over a universe of n
+// elements.
+func NewSlab(count, n int) *Slab {
+	sl := &Slab{}
+	sl.Reset(count, n)
+	return sl
+}
+
+// Reset reshapes the slab to count empty sets of universe n each,
+// reusing the backing storage whenever capacity allows.
+func (sl *Slab) Reset(count, n int) {
+	if count < 0 || n < 0 {
+		panic("bitset: negative slab shape")
+	}
+	per := (n + wordBits - 1) / wordBits
+	total := count * per
+	if cap(sl.words) < total {
+		sl.words = make([]uint64, total)
+	} else {
+		sl.words = sl.words[:total]
+		clear(sl.words)
+	}
+	if cap(sl.sets) < count {
+		sl.sets = make([]Set, count)
+	} else {
+		sl.sets = sl.sets[:count]
+	}
+	for i := range sl.sets {
+		sl.sets[i] = Set{words: sl.words[i*per : (i+1)*per : (i+1)*per], n: n}
+	}
+}
+
+// Set returns the i-th set of the slab.
+func (sl *Slab) Set(i int) *Set { return &sl.sets[i] }
+
+// Count returns the number of sets the slab currently holds.
+func (sl *Slab) Count() int { return len(sl.sets) }
 
 func (s *Set) check(t *Set) {
 	if s.n != t.n {

@@ -193,6 +193,176 @@ func TestQuickAlgebra(t *testing.T) {
 	}
 }
 
+func TestFillWordBoundaries(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s := New(n)
+		s.Fill()
+		if s.Count() != n {
+			t.Errorf("Fill(n=%d): Count = %d", n, s.Count())
+		}
+		if n > 0 && !s.Contains(n-1) {
+			t.Errorf("Fill(n=%d): missing %d", n, n-1)
+		}
+		if s.Contains(n) {
+			t.Errorf("Fill(n=%d): contains out-of-universe %d", n, n)
+		}
+	}
+}
+
+func TestRankWordBoundaries(t *testing.T) {
+	s := New(130)
+	members := []int{0, 5, 63, 64, 65, 127, 128, 129}
+	for _, i := range members {
+		s.Add(i)
+	}
+	for q := 0; q <= 131; q++ {
+		want := 0
+		for _, m := range members {
+			if m < q {
+				want++
+			}
+		}
+		if got := s.Rank(q); got != want {
+			t.Fatalf("Rank(%d) = %d, want %d", q, got, want)
+		}
+	}
+	if got := s.Rank(-3); got != 0 {
+		t.Fatalf("Rank(-3) = %d", got)
+	}
+}
+
+func TestRankMatchesForEachOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				s.Add(i)
+			}
+		}
+		k := 0
+		s.ForEach(func(i int) {
+			if got := s.Rank(i); got != k {
+				t.Fatalf("n=%d: member %d visited at position %d but Rank=%d", n, i, k, got)
+			}
+			k++
+		})
+	}
+}
+
+func TestCountRangeAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(200)
+		s := New(n)
+		members := map[int]bool{}
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				s.Add(i)
+				members[i] = true
+			}
+		}
+		for q := 0; q < 30; q++ {
+			lo := rng.Intn(n+4) - 2
+			hi := rng.Intn(n+4) - 2
+			want := 0
+			for m := range members {
+				if m >= lo && m < hi {
+					want++
+				}
+			}
+			if got := s.CountRange(lo, hi); got != want {
+				t.Fatalf("n=%d CountRange(%d,%d) = %d, want %d", n, lo, hi, got, want)
+			}
+		}
+		// The incremental-rank identity the resolve cursor relies on.
+		prevGi, prevRank := 0, 0
+		s.ForEach(func(i int) {
+			r := prevRank + s.CountRange(prevGi, i)
+			if r != s.Rank(i) {
+				t.Fatalf("n=%d cursor rank %d != Rank(%d)=%d", n, r, i, s.Rank(i))
+			}
+			prevGi, prevRank = i, r
+		})
+	}
+}
+
+// TestResetReuse pins the growth/reuse contract the pooled scratch
+// arenas depend on: Reset reshapes in place when capacity allows and
+// never leaks members from the previous shape.
+func TestResetReuse(t *testing.T) {
+	s := New(64)
+	s.Add(0)
+	s.Add(63)
+	s.Reset(10)
+	if s.Len() != 10 || !s.Empty() {
+		t.Fatalf("after Reset(10): Len=%d Empty=%v", s.Len(), s.Empty())
+	}
+	s.Add(9)
+	// Growing within the same word capacity must not resurrect bit 63.
+	s.Reset(64)
+	if !s.Empty() {
+		t.Fatalf("after Reset(64): stale members %v", s.Members())
+	}
+	// Growing beyond capacity allocates fresh zeroed words.
+	s.Add(1)
+	s.Reset(300)
+	if s.Len() != 300 || !s.Empty() {
+		t.Fatalf("after Reset(300): Len=%d Empty=%v", s.Len(), s.Empty())
+	}
+	s.Add(299)
+	if !s.Contains(299) || s.Count() != 1 {
+		t.Fatal("set unusable after growth")
+	}
+	// Shrinking to the empty universe is legal.
+	s.Reset(0)
+	if s.Len() != 0 || !s.Empty() {
+		t.Fatal("Reset(0) broken")
+	}
+}
+
+func TestSlabIndependentSets(t *testing.T) {
+	sl := NewSlab(3, 65) // 65 forces a two-word stride
+	if sl.Count() != 3 {
+		t.Fatalf("Count = %d", sl.Count())
+	}
+	sl.Set(0).Add(64)
+	sl.Set(1).Add(0)
+	if sl.Set(2).Count() != 0 {
+		t.Fatal("neighbor set polluted")
+	}
+	if !sl.Set(0).Contains(64) || sl.Set(0).Count() != 1 {
+		t.Fatal("set 0 lost its member")
+	}
+	if sl.Set(1).Contains(64) {
+		t.Fatal("adjacent words shared between sets")
+	}
+	// Sets from a slab interoperate with standalone sets.
+	other := New(65)
+	other.Add(64)
+	if !sl.Set(0).Equal(other) {
+		t.Fatal("slab set not equal to equivalent standalone set")
+	}
+
+	// Reset reshapes and clears; reuse must not leak previous members.
+	sl.Reset(5, 64)
+	for i := 0; i < 5; i++ {
+		if !sl.Set(i).Empty() || sl.Set(i).Len() != 64 {
+			t.Fatalf("set %d not reset: %v", i, sl.Set(i).Members())
+		}
+	}
+	// Zero-universe and zero-count shapes are legal.
+	sl.Reset(0, 64)
+	if sl.Count() != 0 {
+		t.Fatal("Reset(0, 64) kept sets")
+	}
+	sl.Reset(2, 0)
+	if sl.Count() != 2 || sl.Set(1).Len() != 0 {
+		t.Fatal("Reset(2, 0) broken")
+	}
+}
+
 func TestMatrix(t *testing.T) {
 	m := NewMatrix(50)
 	pairs := [][2]int{{0, 0}, {1, 0}, {49, 48}, {10, 20}, {20, 10}, {33, 33}}

@@ -34,7 +34,13 @@ type Allocator struct {
 	mach *target.Machine
 	// MaxRounds bounds build/color iterations (default 32).
 	MaxRounds int
+
+	profileAllocs bool
 }
+
+// SetPhaseProfile toggles heap-allocation sampling at phase boundaries;
+// the engine calls it on pooled instances under WithPhaseProfile.
+func (a *Allocator) SetPhaseProfile(on bool) { a.profileAllocs = on }
 
 // New returns a coloring allocator for the machine.
 func New(m *target.Machine) *Allocator { return &Allocator{mach: m, MaxRounds: 32} }
@@ -51,17 +57,26 @@ var _ alloc.Allocator = (*Allocator)(nil)
 // Allocate clones p, colors both register files, rewrites the clone and
 // returns it with statistics.
 func (a *Allocator) Allocate(orig *ir.Proc) (*alloc.Result, error) {
-	p := orig.Clone()
+	return a.AllocateOwned(orig.Clone())
+}
+
+// AllocateOwned colors a procedure the caller owns: p is rewritten in
+// place and must not be used afterwards.
+func (a *Allocator) AllocateOwned(p *ir.Proc) (*alloc.Result, error) {
+	res := &alloc.Result{Proc: p}
+	tm := alloc.NewTimer(a.profileAllocs)
 	p.Renumber()
+	tm.Mark(&res.Stats, alloc.PhaseOther)
 	cfg.ComputeLoopDepths(p)
+	tm.Mark(&res.Stats, alloc.PhaseCFG)
 	lv := dataflow.Compute(p)
+	tm.Mark(&res.Stats, alloc.PhaseDataflow)
 
 	start := time.Now()
-	res := &alloc.Result{Proc: p}
 	res.Stats.Candidates = p.NumTemps()
 
 	frame := alloc.NewFrame(p)
-	usedCallee := make(map[target.Reg]bool)
+	usedCallee := make([]bool, a.mach.NumRegs())
 	for c := target.Class(0); c < target.NumClasses; c++ {
 		g := &colorer{
 			mach: a.mach, class: c, proc: p, lv: lv, frame: frame,
@@ -76,6 +91,7 @@ func (a *Allocator) Allocate(orig *ir.Proc) (*alloc.Result, error) {
 			usedCallee[r] = true
 		}
 	}
+	tm.Mark(&res.Stats, alloc.PhaseScan)
 	res.Stats.UsedCalleeSaved = alloc.InsertCalleeSaves(p, a.mach, usedCallee)
 	res.Stats.AllocTime = time.Since(start)
 	res.Stats.SpilledTemps = frame.NumSpilled()
@@ -84,6 +100,7 @@ func (a *Allocator) Allocate(orig *ir.Proc) (*alloc.Result, error) {
 	if err := alloc.CheckNoTemps(p); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name(), err)
 	}
+	tm.Mark(&res.Stats, alloc.PhaseOther)
 	return res, nil
 }
 

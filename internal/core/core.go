@@ -70,6 +70,11 @@ type Options struct {
 	StrictLinear bool
 	// Heuristic selects the eviction priority function.
 	Heuristic HeuristicKind
+	// ProfileAllocs annotates the per-phase timings in Stats.Phases
+	// with heap-allocation deltas (runtime/metrics reads at every phase
+	// boundary). Off by default: timings are always collected, but
+	// allocation sampling costs two counter reads per phase.
+	ProfileAllocs bool
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -82,13 +87,19 @@ func DefaultOptions() Options {
 }
 
 // Allocator is the binpacking register allocator. It keeps per-instance
-// scratch buffers that are reused across Allocate calls, so one
-// Allocator must not run concurrent allocations; use one instance per
-// goroutine (the engine's worker pool does exactly that).
+// scratch buffers — for liveness, lifetime construction, and the scan
+// itself — that are reused across Allocate calls, so one Allocator must
+// not run concurrent allocations; use one instance per goroutine (the
+// engine's worker pool does exactly that). In steady state, repeated
+// allocation through one instance performs near-zero heap allocation
+// beyond the rewritten procedure itself.
 type Allocator struct {
 	mach    *target.Machine
 	opts    Options
 	scratch scanScratch
+	df      dataflow.Scratch
+	ltsc    lifetime.Scratch
+	rbsc    lifetime.RegScratch
 }
 
 // New returns an allocator for the machine with the given options.
@@ -107,35 +118,59 @@ func (a *Allocator) Name() string {
 	return "second-chance binpacking"
 }
 
-var _ alloc.Allocator = (*Allocator)(nil)
+var (
+	_ alloc.Allocator      = (*Allocator)(nil)
+	_ alloc.OwnedAllocator = (*Allocator)(nil)
+	_ alloc.PhaseProfiler  = (*Allocator)(nil)
+)
+
+// SetPhaseProfile toggles heap-allocation sampling at phase boundaries
+// (Options.ProfileAllocs); the engine calls it on pooled instances.
+func (a *Allocator) SetPhaseProfile(on bool) { a.opts.ProfileAllocs = on }
 
 // Allocate clones p, allocates registers, rewrites the clone, and returns
 // it with statistics. The input procedure is not modified.
 func (a *Allocator) Allocate(orig *ir.Proc) (*alloc.Result, error) {
-	p := orig.Clone()
+	return a.AllocateOwned(orig.Clone())
+}
+
+// AllocateOwned allocates registers for a procedure the caller owns: p
+// is rewritten in place (and must not be used afterwards). The engine
+// uses this path so each procedure is cloned exactly once per pipeline
+// run.
+func (a *Allocator) AllocateOwned(p *ir.Proc) (*alloc.Result, error) {
+	res := &alloc.Result{Proc: p}
+	st := &res.Stats
+	tm := alloc.NewTimer(a.opts.ProfileAllocs)
+
 	p.Renumber()
+	tm.Mark(st, alloc.PhaseOther)
 	// Shared setup (the paper excludes this from allocation timing:
 	// CFG construction, loop analysis and liveness are common to both
 	// allocators, §3.2).
 	cfg.ComputeLoopDepths(p)
-	lv := dataflow.Compute(p)
+	tm.Mark(st, alloc.PhaseCFG)
+	lv := a.df.Compute(p)
+	tm.Mark(st, alloc.PhaseDataflow)
 
 	start := time.Now()
-	lt := lifetime.Compute(p, lv)
-	rb := lifetime.ComputeRegBusy(p, a.mach)
+	lt := a.ltsc.Compute(p, lv)
+	rb := a.rbsc.Compute(p, a.mach)
+	tm.Mark(st, alloc.PhaseLifetime)
 
-	res := &alloc.Result{Proc: p}
-	res.Stats.Candidates = p.NumTemps()
+	st.Candidates = p.NumTemps()
 
 	var frame *alloc.Frame
-	var usedCallee map[target.Reg]bool
+	var usedCallee []bool
 	if a.opts.SecondChance {
 		s := newScan(p, a.mach, a.opts, lv, lt, rb, &a.scratch)
 		if err := s.run(); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name(), p.Name, err)
 		}
-		s.resolve()
+		tm.Mark(st, alloc.PhaseScan)
+		s.resolve(&a.scratch)
 		s.release(&a.scratch)
+		tm.Mark(st, alloc.PhaseMoves)
 		frame = s.frame
 		usedCallee = s.usedCallee
 	} else {
@@ -144,14 +179,17 @@ func (a *Allocator) Allocate(orig *ir.Proc) (*alloc.Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name(), p.Name, err)
 		}
+		tm.Mark(st, alloc.PhaseScan)
 	}
-	res.Stats.UsedCalleeSaved = alloc.InsertCalleeSaves(p, a.mach, usedCallee)
-	res.Stats.AllocTime = time.Since(start)
-	res.Stats.SpilledTemps = frame.NumSpilled()
+	st.UsedCalleeSaved = alloc.InsertCalleeSaves(p, a.mach, usedCallee)
+	st.AllocTime = time.Since(start)
+	st.SpilledTemps = frame.NumSpilled()
+	frame.Release() // the pooled frame must not pin p past this run
 	p.Renumber()
-	res.Stats.Inserted = alloc.CountInserted(p)
+	st.Inserted = alloc.CountInserted(p)
 	if err := alloc.CheckNoTemps(p); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name(), err)
 	}
+	tm.Mark(st, alloc.PhaseOther)
 	return res, nil
 }

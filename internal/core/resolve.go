@@ -2,11 +2,16 @@ package core
 
 import (
 	"repro/internal/bitset"
-	"repro/internal/dataflow"
 	"repro/internal/ir"
 	"repro/internal/moves"
 	"repro/internal/target"
 )
+
+// edgeFix is one CFG edge's repair code, collected before mutation.
+type edgeFix struct {
+	pred, succ *ir.Block
+	code       []ir.Instr
+}
 
 // resolve repairs the linear-order allocation assumptions across every CFG
 // edge (§2.4). For each edge p→s and each temporary live into s it
@@ -15,35 +20,36 @@ import (
 // copy so register swaps come out in a semantically correct order. It
 // also runs the USED_CONSISTENCY dataflow and inserts the stores required
 // where a path reaches a point that exploited register/memory consistency
-// the path does not provide.
-func (s *scan) resolve() {
+// the path does not provide. sc supplies the pooled working storage.
+func (s *scan) resolve(sc *scanScratch) {
 	ng := s.lv.NumGlobals()
 
 	var usedCIn []*bitset.Set
 	if !s.opts.StrictLinear && ng > 0 {
-		usedCIn, _ = dataflow.SolveBackwardUnion(s.p.Blocks, ng,
+		// The solver scratch is distinct from the one liveness came
+		// from: LiveIn/LiveOut stay valid while this solve runs.
+		usedCIn, _ = s.consSolver.Solve(s.p.Blocks, ng,
 			func(b *ir.Block) *bitset.Set { return s.usedC[b.Order] },
 			func(b *ir.Block) *bitset.Set { return s.wrote[b.Order] })
 	}
 
-	type edgeFix struct {
-		pred, succ *ir.Block
-		code       []ir.Instr
+	fixes := sc.fixes[:0]
+	if cap(sc.busyRegs) < s.mach.NumRegs() {
+		sc.busyRegs = make([]bool, s.mach.NumRegs())
 	}
-	var fixes []edgeFix
 
 	// Collect all repairs before mutating the CFG (edge splitting would
 	// otherwise disturb iteration and positions).
-	blocks := append([]*ir.Block(nil), s.p.Blocks...)
+	blocks := append(sc.rblocks[:0], s.p.Blocks...)
+	sc.rblocks = blocks
 	for _, pb := range blocks {
 		for _, sb := range pb.Succs {
-			code := s.resolveEdge(pb, sb, usedCIn)
+			code := s.resolveEdge(pb, sb, usedCIn, sc)
 			if len(code) > 0 {
 				fixes = append(fixes, edgeFix{pred: pb, succ: sb, code: code})
 			}
 		}
 	}
-
 	for _, f := range fixes {
 		switch {
 		case len(f.pred.Succs) == 1:
@@ -67,27 +73,62 @@ func (s *scan) resolve() {
 			}
 		}
 	}
+	// Return the fix list and block snapshot to the scratch with their
+	// references dropped, so the pooled backing does not retain the
+	// procedure's repair code or blocks (and through them the whole
+	// rewritten procedure's arenas).
+	for i := range fixes {
+		fixes[i] = edgeFix{}
+	}
+	sc.fixes = fixes[:0]
+	clear(blocks)
+	sc.rblocks = blocks[:0]
 }
 
-// resolveEdge computes the repair code for one edge.
-func (s *scan) resolveEdge(pb, sb *ir.Block, usedCIn []*bitset.Set) []ir.Instr {
-	bot := s.botLoc[pb.Order]
-	top := s.topLoc[sb.Order]
+// resolveEdge computes the repair code for one edge. Locations at the
+// predecessor's bottom and the successor's top come from the dense
+// botRegs/topRegs arrays: the k-th live-in global of a block (ascending
+// global index) is the k-th entry, and membership rank recovers the
+// position for point lookups.
+func (s *scan) resolveEdge(pb, sb *ir.Block, usedCIn []*bitset.Set, sc *scanScratch) []ir.Instr {
+	bot := s.botRegs[pb.Order]
+	top := s.topRegs[sb.Order]
+	outP := s.lv.LiveOut[pb.Order]
 	consP := s.savedCons[pb.Order]
 
-	var ts []moves.Transfer
-	busyRegs := make(map[target.Reg]bool)
+	ts := sc.transfers[:0]
+	busyRegs := sc.busyRegs
+	busyDirty := sc.busyDirty[:0]
+	markBusy := func(r target.Reg) {
+		if !busyRegs[r] {
+			busyRegs[r] = true
+			busyDirty = append(busyDirty, r)
+		}
+	}
 
+	k := 0 // rank of gi in LiveIn[sb]
+	// Rank cursor over LiveOut[pb]: ForEach ascends, so each lookup
+	// advances incrementally instead of rescanning the words (a full
+	// Rank per temp would make dense edges quadratic in the universe).
+	prevGi, prevRank := 0, 0
 	s.lv.LiveIn[sb.Order].ForEach(func(gi int) {
+		ls := top[k]
+		k++
 		t := s.lv.Globals[gi]
 		cls := s.p.TempClass(t)
-		lp, inRegP := bot[t]
-		ls, inRegS := top[t]
+		lp := target.NoReg
+		if outP.Contains(gi) {
+			r := prevRank + outP.CountRange(prevGi, gi)
+			prevGi, prevRank = gi, r
+			lp = bot[r]
+		}
+		inRegP := lp != target.NoReg
+		inRegS := ls != target.NoReg
 		if inRegP {
-			busyRegs[lp] = true
+			markBusy(lp)
 		}
 		if inRegS {
-			busyRegs[ls] = true
+			markBusy(ls)
 		}
 		needCons := usedCIn != nil && usedCIn[sb.Order].Contains(gi)
 		consAtP := consP.Contains(gi)
@@ -118,7 +159,15 @@ func (s *scan) resolveEdge(pb, sb *ir.Block, usedCIn []*bitset.Set) []ir.Instr {
 				Src: moves.SlotLoc(s.frame.SlotOf(t)), Dst: moves.RegLoc(ls)})
 		}
 	})
+	sc.transfers = ts
+	unmark := func() {
+		for _, r := range busyDirty {
+			busyRegs[r] = false
+		}
+		sc.busyDirty = busyDirty[:0]
+	}
 	if len(ts) == 0 {
+		unmark()
 		return nil
 	}
 
@@ -143,6 +192,8 @@ func (s *scan) resolveEdge(pb, sb *ir.Block, usedCIn []*bitset.Set) []ir.Instr {
 		}
 		return target.NoReg, false
 	}
-	return moves.Sequence(ts, scratch, func(t ir.Temp) int { return s.frame.SlotOf(t) },
+	code := moves.Sequence(ts, scratch, func(t ir.Temp) int { return s.frame.SlotOf(t) },
 		moves.Tags{Load: ir.TagResolveLoad, Store: ir.TagResolveStore, Move: ir.TagResolveMove})
+	unmark()
+	return code
 }

@@ -9,6 +9,8 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/ir"
 	"repro/internal/lifetime"
+	"repro/internal/moves"
+	"repro/internal/scratch"
 	"repro/internal/target"
 )
 
@@ -22,7 +24,7 @@ type scan struct {
 	rb   *lifetime.RegBusy
 
 	frame      *alloc.Frame
-	usedCallee map[target.Reg]bool
+	usedCallee []bool // register → used callee-saved
 
 	// Allocation state, maintained linearly across blocks exactly as the
 	// paper's model flows it (Fig. 2 discussion).
@@ -31,11 +33,16 @@ type scan struct {
 	consistent []bool       // the ARE_CONSISTENT working bit per temp (At)
 	consLocal  []bool       // consistency established inside the current block
 
-	pinned []bool // registers untouchable while processing one instruction
+	pinned     []bool       // registers untouchable while processing one instruction
+	pinnedList []target.Reg // registers pinned for the current instruction
 
 	// Per-block records for resolution (§2.4), indexed by Block.Order.
-	topLoc    []map[ir.Temp]target.Reg
-	botLoc    []map[ir.Temp]target.Reg
+	// topRegs/botRegs hold the register of the k-th live-in/live-out
+	// global (in ascending global-index order; NoReg = memory), carved
+	// from one pooled arena — the dense replacement for the per-block
+	// maps the resolution phase used to allocate.
+	topRegs   [][]target.Reg
+	botRegs   [][]target.Reg
 	savedCons []*bitset.Set // ARE_CONSISTENT snapshot at block bottom (globals)
 	wrote     []*bitset.Set // WROTE_TR per block (kill)
 	usedC     []*bitset.Set // USED_CONSISTENCY per block (gen)
@@ -48,6 +55,15 @@ type scan struct {
 
 	ubuf []ir.Temp
 	dbuf []ir.Temp
+
+	// origArena backs every instruction's OrigUses/OrigDefs side table.
+	// It is retained by the rewritten procedure, so unlike the scratch
+	// arrays it is allocated fresh per procedure — but exactly once,
+	// instead of twice per instruction.
+	origArena []ir.Temp
+	origN     int
+
+	consSolver *dataflow.SolverScratch
 }
 
 // scanScratch holds the scan's per-temp, per-register and per-block
@@ -56,30 +72,39 @@ type scan struct {
 // for every procedure. The zero value is ready to use. An Allocator that
 // shares a scanScratch must not be used from multiple goroutines.
 type scanScratch struct {
+	frame      alloc.Frame
 	loc        []target.Reg
 	regOcc     []ir.Temp
 	consistent []bool
 	consLocal  []bool
 	pinned     []bool
-	topLoc     []map[ir.Temp]target.Reg
-	botLoc     []map[ir.Temp]target.Reg
+	pinnedList []target.Reg
+	usedCallee []bool
+	topRegs    [][]target.Reg
+	botRegs    [][]target.Reg
+	topArena   []target.Reg
+	botArena   []target.Reg
+	blockSets  bitset.Slab
 	savedCons  []*bitset.Set
 	wrote      []*bitset.Set
 	usedC      []*bitset.Set
+	wroteCur   bitset.Set
+	usedCCur   bitset.Set
 	ubuf, dbuf []ir.Temp
+
+	// Resolution-phase (§2.4) working storage.
+	consSolver dataflow.SolverScratch
+	rblocks    []*ir.Block
+	fixes      []edgeFix
+	transfers  []moves.Transfer
+	busyRegs   []bool
+	busyDirty  []target.Reg
 }
 
-func grow[T any](buf []T, n int) []T {
-	if cap(buf) < n {
-		return make([]T, n)
-	}
-	// Clear the whole capacity, not just [:n]: the tail beyond n would
-	// otherwise pin maps and bitsets from the largest procedure ever
-	// seen for the lifetime of the pooled allocator.
-	full := buf[:cap(buf)]
-	clear(full)
-	return full[:n]
-}
+// grow is scratch.GrowCleared: every scan buffer either reaches other
+// objects (arena sub-slices, bitsets) or is cheaper to re-zero than to
+// audit, so the clearing variant is used throughout.
+func grow[T any](buf []T, n int) []T { return scratch.GrowCleared(buf, n) }
 
 func newScan(p *ir.Proc, mach *target.Machine, opts Options, lv *dataflow.Liveness, lt *lifetime.Table, rb *lifetime.RegBusy, sc *scanScratch) *scan {
 	if sc == nil {
@@ -94,29 +119,72 @@ func newScan(p *ir.Proc, mach *target.Machine, opts Options, lv *dataflow.Livene
 	sc.consistent = grow(sc.consistent, nt)
 	sc.consLocal = grow(sc.consLocal, nt)
 	sc.pinned = grow(sc.pinned, nr)
-	sc.topLoc = grow(sc.topLoc, nb)
-	sc.botLoc = grow(sc.botLoc, nb)
+	sc.usedCallee = grow(sc.usedCallee, nr)
+	sc.topRegs = grow(sc.topRegs, nb)
+	sc.botRegs = grow(sc.botRegs, nb)
 	sc.savedCons = grow(sc.savedCons, nb)
 	sc.wrote = grow(sc.wrote, nb)
 	sc.usedC = grow(sc.usedC, nb)
+	sc.frame.Reset(p)
+
+	// One slab allocation backs all per-block consistency sets.
+	sc.blockSets.Reset(3*nb, ng)
+	for i := 0; i < nb; i++ {
+		sc.savedCons[i] = sc.blockSets.Set(i)
+		sc.wrote[i] = sc.blockSets.Set(nb + i)
+		sc.usedC[i] = sc.blockSets.Set(2*nb + i)
+	}
+	sc.wroteCur.Reset(ng)
+	sc.usedCCur.Reset(ng)
+
+	// Carve the per-block top/bottom location arrays out of two pooled
+	// arenas sized by the liveness sets.
+	topTotal, botTotal := 0, 0
+	for i := 0; i < nb; i++ {
+		topTotal += lv.LiveIn[i].Count()
+		botTotal += lv.LiveOut[i].Count()
+	}
+	sc.topArena = grow(sc.topArena, topTotal)
+	sc.botArena = grow(sc.botArena, botTotal)
+	topOff, botOff := 0, 0
+	for i := 0; i < nb; i++ {
+		tc, bc := lv.LiveIn[i].Count(), lv.LiveOut[i].Count()
+		sc.topRegs[i] = sc.topArena[topOff : topOff+tc : topOff+tc]
+		sc.botRegs[i] = sc.botArena[botOff : botOff+bc : botOff+bc]
+		topOff += tc
+		botOff += bc
+	}
+
+	// The Orig side tables are retained by the result: allocate the
+	// arena fresh, sized by the total operand count.
+	nOps := 0
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			nOps += len(b.Instrs[i].Uses) + len(b.Instrs[i].Defs)
+		}
+	}
+
 	s := &scan{
 		p: p, mach: mach, opts: opts, lv: lv, lt: lt, rb: rb,
-		frame:      alloc.NewFrame(p),
-		usedCallee: make(map[target.Reg]bool),
+		frame:      &sc.frame,
+		usedCallee: sc.usedCallee,
 		loc:        sc.loc,
 		regOcc:     sc.regOcc,
 		consistent: sc.consistent,
 		consLocal:  sc.consLocal,
 		pinned:     sc.pinned,
-		topLoc:     sc.topLoc,
-		botLoc:     sc.botLoc,
+		pinnedList: sc.pinnedList[:0],
+		topRegs:    sc.topRegs,
+		botRegs:    sc.botRegs,
 		savedCons:  sc.savedCons,
 		wrote:      sc.wrote,
 		usedC:      sc.usedC,
-		wroteCur:   bitset.New(ng),
-		usedCCur:   bitset.New(ng),
+		wroteCur:   &sc.wroteCur,
+		usedCCur:   &sc.usedCCur,
 		ubuf:       sc.ubuf[:0],
 		dbuf:       sc.dbuf[:0],
+		origArena:  make([]ir.Temp, nOps),
+		consSolver: &sc.consSolver,
 	}
 	for i := range s.loc {
 		s.loc[i] = target.NoReg
@@ -129,13 +197,25 @@ func newScan(p *ir.Proc, mach *target.Machine, opts Options, lv *dataflow.Livene
 
 // release hands the scan's (possibly regrown) buffers back to the
 // scratch for the next allocation. The rewritten procedure keeps the
-// per-block instruction buffers, so those are not pooled; everything
-// released here must not be retained by the result.
+// per-block instruction buffers and the orig arena, so those are not
+// pooled; everything released here must not be retained by the result.
 func (s *scan) release(sc *scanScratch) {
 	if sc == nil {
 		return
 	}
 	sc.ubuf, sc.dbuf = s.ubuf, s.dbuf
+	sc.pinnedList = s.pinnedList
+}
+
+// takeOrig carves an all-NoTemp side table of n entries from the
+// per-procedure arena.
+func (s *scan) takeOrig(n int) []ir.Temp {
+	a := s.origArena[s.origN : s.origN+n : s.origN+n]
+	s.origN += n
+	for i := range a {
+		a[i] = ir.NoTemp
+	}
+	return a
 }
 
 func (s *scan) iv(t ir.Temp) *lifetime.Interval { return s.lt.Intervals[t] }
@@ -166,12 +246,12 @@ func (s *scan) startBlock(b *ir.Block) {
 	if s.opts.StrictLinear {
 		// §2.6: conservatively reinitialize the working ARE_CONSISTENT
 		// vector with the intersection of the saved vectors of all
-		// predecessors; an unprocessed predecessor clears everything.
+		// predecessors; an unprocessed predecessor (still empty) clears
+		// everything.
 		for gi, t := range s.lv.Globals {
 			val := len(b.Preds) > 0
 			for _, pred := range b.Preds {
-				sc := s.savedCons[pred.Order]
-				if sc == nil || !sc.Contains(gi) {
+				if !s.savedCons[pred.Order].Contains(gi) {
 					val = false
 					break
 				}
@@ -179,27 +259,23 @@ func (s *scan) startBlock(b *ir.Block) {
 			s.consistent[t] = val
 		}
 	}
-	top := make(map[ir.Temp]target.Reg)
+	top := s.topRegs[b.Order]
+	k := 0
 	s.lv.LiveIn[b.Order].ForEach(func(gi int) {
-		t := s.lv.Globals[gi]
-		if r := s.loc[t]; r != target.NoReg {
-			top[t] = r
-		}
+		top[k] = s.loc[s.lv.Globals[gi]]
+		k++
 	})
-	s.topLoc[b.Order] = top
 }
 
 func (s *scan) endBlock(b *ir.Block) {
-	bot := make(map[ir.Temp]target.Reg)
+	bot := s.botRegs[b.Order]
+	k := 0
 	s.lv.LiveOut[b.Order].ForEach(func(gi int) {
-		t := s.lv.Globals[gi]
-		if r := s.loc[t]; r != target.NoReg {
-			bot[t] = r
-		}
+		bot[k] = s.loc[s.lv.Globals[gi]]
+		k++
 	})
-	s.botLoc[b.Order] = bot
 
-	sc := bitset.New(s.lv.NumGlobals())
+	sc := s.savedCons[b.Order]
 	for gi, t := range s.lv.Globals {
 		// A temporary in memory is trivially consistent (its home is
 		// authoritative); one in a register carries its At bit.
@@ -207,7 +283,6 @@ func (s *scan) endBlock(b *ir.Block) {
 			sc.Add(gi)
 		}
 	}
-	s.savedCons[b.Order] = sc
 
 	if !s.opts.StrictLinear {
 		// Soundness refinement (documented in DESIGN.md): a live-out
@@ -223,11 +298,30 @@ func (s *scan) endBlock(b *ir.Block) {
 			}
 		})
 	}
-	s.wrote[b.Order] = s.wroteCur.Clone()
-	s.usedC[b.Order] = s.usedCCur.Clone()
+	s.wrote[b.Order].Copy(s.wroteCur)
+	s.usedC[b.Order].Copy(s.usedCCur)
 }
 
-// instr allocates and rewrites a single instruction.
+// pin marks r untouchable for the rest of the current instruction.
+func (s *scan) pin(r target.Reg) {
+	if !s.pinned[r] {
+		s.pinned[r] = true
+		s.pinnedList = append(s.pinnedList, r)
+	}
+}
+
+// unpinAll releases every register pinned for the current instruction.
+func (s *scan) unpinAll() {
+	for _, r := range s.pinnedList {
+		s.pinned[r] = false
+	}
+	s.pinnedList = s.pinnedList[:0]
+}
+
+// instr allocates and rewrites a single instruction. The procedure is
+// the allocator's private copy, so operands are rewritten in place and
+// the Orig side tables come from the per-procedure arena — the
+// instruction costs no allocations of its own.
 func (s *scan) instr(in *ir.Instr) error {
 	pos := in.Pos
 
@@ -240,41 +334,24 @@ func (s *scan) instr(in *ir.Instr) error {
 		}
 	}
 
-	// Pin the registers of temporaries this instruction references so
-	// one operand's reload cannot evict another operand.
-	var pinnedRegs []target.Reg
-	pin := func(r target.Reg) {
-		if !s.pinned[r] {
-			s.pinned[r] = true
-			pinnedRegs = append(pinnedRegs, r)
-		}
-	}
-	defer func() {
-		for _, r := range pinnedRegs {
-			s.pinned[r] = false
-		}
-	}()
+	// Record use/def temps before any in-place rewriting, and pin the
+	// registers of temporaries this instruction references so one
+	// operand's reload cannot evict another operand.
 	s.ubuf = in.UseTemps(s.ubuf[:0])
+	s.dbuf = in.DefTemps(s.dbuf[:0])
+	isMove := in.Op.IsMove()
 	for _, t := range s.ubuf {
 		if r := s.loc[t]; r != target.NoReg {
-			pin(r)
+			s.pin(r)
 		}
 	}
 
 	ni := *in
-	if len(in.Uses) > 0 {
-		ni.Uses = append([]ir.Operand(nil), in.Uses...)
-		ni.OrigUses = make([]ir.Temp, len(in.Uses))
-		for i := range ni.OrigUses {
-			ni.OrigUses[i] = ir.NoTemp
-		}
+	if len(ni.Uses) > 0 {
+		ni.OrigUses = s.takeOrig(len(ni.Uses))
 	}
-	if len(in.Defs) > 0 {
-		ni.Defs = append([]ir.Operand(nil), in.Defs...)
-		ni.OrigDefs = make([]ir.Temp, len(in.Defs))
-		for i := range ni.OrigDefs {
-			ni.OrigDefs[i] = ir.NoTemp
-		}
+	if len(ni.Defs) > 0 {
+		ni.OrigDefs = s.takeOrig(len(ni.Defs))
 	}
 
 	// Uses: every temporary read here must be in a register now.
@@ -285,9 +362,10 @@ func (s *scan) instr(in *ir.Instr) error {
 		t := ni.Uses[ui].Temp
 		r, err := s.ensure(t, pos, true)
 		if err != nil {
+			s.unpinAll()
 			return err
 		}
-		pin(r)
+		s.pin(r)
 		ni.Uses[ui] = ir.RegOp(r)
 		ni.OrigUses[ui] = t
 	}
@@ -306,8 +384,8 @@ func (s *scan) instr(in *ir.Instr) error {
 	// §2.5 move optimization: try to give the move's destination the
 	// source's register when the source is done with it.
 	movedDef := false
-	if s.opts.MoveOpt && in.Op.IsMove() && len(in.Defs) == 1 && in.Defs[0].Kind == ir.KindTemp {
-		movedDef = s.tryMoveOpt(in, &ni, pos)
+	if s.opts.MoveOpt && isMove && len(ni.Defs) == 1 && ni.Defs[0].Kind == ir.KindTemp {
+		movedDef = s.tryMoveOpt(&ni, pos)
 	}
 
 	// Defs.
@@ -322,10 +400,11 @@ func (s *scan) instr(in *ir.Instr) error {
 				var err error
 				r, err = s.ensure(d, pos, false)
 				if err != nil {
+					s.unpinAll()
 					return err
 				}
 			}
-			pin(r)
+			s.pin(r)
 			s.markWrite(d)
 			ni.Defs[di] = ir.RegOp(r)
 			ni.OrigDefs[di] = d
@@ -335,12 +414,12 @@ func (s *scan) instr(in *ir.Instr) error {
 	s.out = append(s.out, ni)
 
 	// Free dying definitions (dead stores keep a point lifetime).
-	s.dbuf = in.DefTemps(s.dbuf[:0])
 	for _, d := range s.dbuf {
 		if s.loc[d] != target.NoReg && s.deadAfter(d, pos) {
 			s.free(d)
 		}
 	}
+	s.unpinAll()
 	return nil
 }
 
@@ -365,9 +444,11 @@ func (s *scan) deadAfter(t ir.Temp, pos int32) bool {
 // and if the lifetime of the move's destination temporary fits within
 // this hole." On success the destination operand is rewritten to the
 // source register and the resulting self-move is left for the peephole
-// pass to delete, as in the paper.
-func (s *scan) tryMoveOpt(in *ir.Instr, ni *ir.Instr, pos int32) bool {
-	d := in.Defs[0].Temp
+// pass to delete, as in the paper. ni's use operand has already been
+// rewritten, so the original source temp (if any) is read back from the
+// OrigUses side table.
+func (s *scan) tryMoveOpt(ni *ir.Instr, pos int32) bool {
+	d := ni.Defs[0].Temp
 	if s.loc[d] != target.NoReg {
 		return false // destination already placed; normal path
 	}
@@ -378,17 +459,7 @@ func (s *scan) tryMoveOpt(in *ir.Instr, ni *ir.Instr, pos int32) bool {
 	dEnd := div.End()
 
 	var rs target.Reg
-	src := in.Uses[0]
-	switch src.Kind {
-	case ir.KindReg:
-		// Parameter-style move from a convention register: usable when
-		// the register's own hole after this use covers d's lifetime.
-		rs = src.Reg
-		if s.regOcc[rs] != ir.NoTemp {
-			return false
-		}
-	case ir.KindTemp:
-		t := src.Temp
+	if t := ni.OrigUses[0]; t != ir.NoTemp {
 		rs = ni.Uses[0].Reg // register the use was rewritten to
 		if occ := s.regOcc[rs]; occ != ir.NoTemp {
 			// The source must be finished with the register for d's
@@ -400,7 +471,14 @@ func (s *scan) tryMoveOpt(in *ir.Instr, ni *ir.Instr, pos int32) bool {
 				return false
 			}
 		}
-	default:
+	} else if ni.Uses[0].Kind == ir.KindReg {
+		// Parameter-style move from a convention register: usable when
+		// the register's own hole after this use covers d's lifetime.
+		rs = ni.Uses[0].Reg
+		if s.regOcc[rs] != ir.NoTemp {
+			return false
+		}
+	} else {
 		return false
 	}
 	if !s.sufficientFrom(rs, d, pos+1) {

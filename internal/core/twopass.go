@@ -21,7 +21,7 @@ import (
 // references to memory-resident temporaries through reserved scratch
 // registers (the standard engineering stand-in for the paper's
 // always-allocated point lifetimes; see DESIGN.md).
-func (a *Allocator) twoPass(p *ir.Proc, lt *lifetime.Table, rb *lifetime.RegBusy) (*alloc.Frame, map[target.Reg]bool, error) {
+func (a *Allocator) twoPass(p *ir.Proc, lt *lifetime.Table, rb *lifetime.RegBusy) (*alloc.Frame, []bool, error) {
 	scratch := alloc.PickScratch(a.mach)
 	reserved := map[target.Reg]bool{
 		scratch.Int[0]: true, scratch.Int[1]: true,
@@ -44,7 +44,8 @@ func (a *Allocator) twoPass(p *ir.Proc, lt *lifetime.Table, rb *lifetime.RegBusy
 		return order[i].End() > order[j].End() // longer lifetimes first on ties
 	})
 
-	usedCallee := make(map[target.Reg]bool)
+	usedCallee := grow(a.scratch.usedCallee, a.mach.NumRegs())
+	a.scratch.usedCallee = usedCallee
 	for _, iv := range order {
 		cls := p.TempClass(iv.Temp)
 		for _, r := range a.mach.AllocOrder(cls) {
@@ -63,11 +64,9 @@ func (a *Allocator) twoPass(p *ir.Proc, lt *lifetime.Table, rb *lifetime.RegBusy
 		}
 	}
 
-	frame := alloc.NewFrame(p)
-	used := alloc.RewriteAssigned(p, a.mach, asn, frame, scratch)
-	for r := range used {
-		usedCallee[r] = true
-	}
+	a.scratch.frame.Reset(p)
+	frame := &a.scratch.frame
+	alloc.RewriteAssigned(p, a.mach, asn, frame, scratch, usedCallee)
 	return frame, usedCallee, nil
 }
 

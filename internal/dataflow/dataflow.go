@@ -8,14 +8,35 @@
 // live across an edge only if some block reads it before writing it
 // (upward exposure), so the global universe is exactly the set of
 // upward-exposed temporaries.
+//
+// Both entry points come in two forms: the plain functions
+// (SolveBackwardUnion, Compute) allocate their working storage fresh, and
+// the scratch-based forms (SolverScratch.Solve, Scratch.Compute) reuse a
+// caller-owned arena so that repeated analyses on one allocator instance
+// — the engine's batch hot path — run allocation-free in steady state.
 package dataflow
 
 import (
 	"repro/internal/bitset"
 	"repro/internal/ir"
+	"repro/internal/scratch"
 )
 
-// SolveBackwardUnion solves the classic backward union problem
+// SolverScratch holds the reusable working storage of the backward-union
+// solver: one bitset slab for the In/Out vectors plus the worklist. A
+// scratch must not be shared between concurrent solves, and the slices a
+// solve returns are valid only until the next Solve on the same scratch.
+// The zero value is ready to use.
+type SolverScratch struct {
+	slab   bitset.Slab
+	in     []*bitset.Set
+	out    []*bitset.Set
+	work   []*ir.Block
+	inWork []bool
+	tmp    bitset.Set
+}
+
+// Solve solves the classic backward union problem
 //
 //	Out(b) = ⋃_{s ∈ succ(b)} In(s)
 //	In(b)  = Gen(b) ∪ (Out(b) − Kill(b))
@@ -24,14 +45,17 @@ import (
 // by Block.Order. gen and kill may be nil to mean the empty set. The
 // universe size is n. Both liveness and the paper's USED_CONSISTENCY
 // consistency-repair analysis (§2.4) are instances of this problem.
-func SolveBackwardUnion(blocks []*ir.Block, n int, gen, kill func(*ir.Block) *bitset.Set) (in, out []*bitset.Set) {
+func (sc *SolverScratch) Solve(blocks []*ir.Block, n int, gen, kill func(*ir.Block) *bitset.Set) (in, out []*bitset.Set) {
 	nb := len(blocks)
-	in = make([]*bitset.Set, nb)
-	out = make([]*bitset.Set, nb)
-	for i := range blocks {
-		in[i] = bitset.New(n)
-		out[i] = bitset.New(n)
+	sc.slab.Reset(2*nb, n)
+	sc.in = scratch.Grow(sc.in, nb)
+	sc.out = scratch.Grow(sc.out, nb)
+	for i := 0; i < nb; i++ {
+		sc.in[i] = sc.slab.Set(i)
+		sc.out[i] = sc.slab.Set(nb + i)
 	}
+	in, out = sc.in, sc.out
+
 	// Initialize In(b) = Gen(b).
 	for _, b := range blocks {
 		if gen != nil {
@@ -42,26 +66,24 @@ func SolveBackwardUnion(blocks []*ir.Block, n int, gen, kill func(*ir.Block) *bi
 	}
 	// Worklist seeded in reverse layout order (approximates reverse
 	// topological order, which converges fastest for backward problems).
-	work := make([]*ir.Block, 0, nb)
-	inWork := make([]bool, nb)
+	work := sc.work[:0]
+	sc.inWork = scratch.GrowCleared(sc.inWork, nb)
+	inWork := sc.inWork
 	for i := nb - 1; i >= 0; i-- {
 		work = append(work, blocks[i])
 		inWork[blocks[i].Order] = true
 	}
-	tmp := bitset.New(n)
+	sc.tmp.Reset(n)
+	tmp := &sc.tmp
 	for len(work) > 0 {
 		b := work[len(work)-1]
 		work = work[:len(work)-1]
 		inWork[b.Order] = false
 
 		o := out[b.Order]
-		changedOut := false
 		for _, s := range b.Succs {
-			if o.Union(in[s.Order]) {
-				changedOut = true
-			}
+			o.Union(in[s.Order])
 		}
-		_ = changedOut
 		// In(b) = Gen(b) ∪ (Out(b) − Kill(b))
 		tmp.Copy(o)
 		if kill != nil {
@@ -84,7 +106,19 @@ func SolveBackwardUnion(blocks []*ir.Block, n int, gen, kill func(*ir.Block) *bi
 			}
 		}
 	}
+	// Clear the worklist's full capacity before pooling it: the tail
+	// holds *ir.Block pointers from this solve that would otherwise pin
+	// the procedure until the next one.
+	work = work[:cap(work)]
+	clear(work)
+	sc.work = work[:0]
 	return in, out
+}
+
+// SolveBackwardUnion is SolverScratch.Solve with throwaway storage; see
+// that method for the problem statement.
+func SolveBackwardUnion(blocks []*ir.Block, n int, gen, kill func(*ir.Block) *bitset.Set) (in, out []*bitset.Set) {
+	return new(SolverScratch).Solve(blocks, n, gen, kill)
 }
 
 // Liveness holds the result of liveness analysis over a procedure's
@@ -119,19 +153,38 @@ func (lv *Liveness) LiveInTemps(b *ir.Block, buf []ir.Temp) []ir.Temp {
 	return buf
 }
 
-// Compute runs liveness analysis. The procedure must have been
-// Renumber()ed so Block.Order indexes the layout slice.
-func Compute(p *ir.Proc) *Liveness {
+// Scratch holds the reusable working storage of liveness analysis: the
+// Liveness tables themselves, the per-block Gen/Kill slab, and the
+// solver. One scratch serves one goroutine; the Liveness a Compute
+// returns is owned by the scratch and valid until the next Compute on
+// it. The zero value is ready to use.
+type Scratch struct {
+	lv         Liveness
+	defined    []bool
+	dirty      []ir.Temp
+	ubuf, dbuf []ir.Temp
+	genKill    bitset.Slab
+	gen, kill  []*bitset.Set
+	solver     SolverScratch
+}
+
+// Compute runs liveness analysis into the scratch's pooled storage. The
+// procedure must have been Renumber()ed so Block.Order indexes the
+// layout slice.
+func (sc *Scratch) Compute(p *ir.Proc) *Liveness {
 	nt := p.NumTemps()
-	lv := &Liveness{Index: make([]int32, nt)}
+	lv := &sc.lv
+	lv.Index = scratch.Grow(lv.Index, nt)
 	for i := range lv.Index {
 		lv.Index[i] = -1
 	}
+	lv.Globals = lv.Globals[:0]
 
 	// Pass 1: find upward-exposed temporaries (the global universe).
-	var ubuf, dbuf []ir.Temp
-	defined := make([]bool, nt)
-	definedDirty := []ir.Temp{}
+	sc.defined = scratch.GrowCleared(sc.defined, nt)
+	defined := sc.defined
+	definedDirty := sc.dirty[:0]
+	ubuf, dbuf := sc.ubuf, sc.dbuf
 	for _, b := range p.Blocks {
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
@@ -155,16 +208,18 @@ func Compute(p *ir.Proc) *Liveness {
 		}
 		definedDirty = definedDirty[:0]
 	}
+	sc.dirty = definedDirty
 
 	n := len(lv.Globals)
 
 	// Pass 2: per-block UEVar (gen) and VarKill (kill) over globals.
 	nb := len(p.Blocks)
-	gen := make([]*bitset.Set, nb)
-	kill := make([]*bitset.Set, nb)
+	sc.genKill.Reset(2*nb, n)
+	sc.gen = scratch.Grow(sc.gen, nb)
+	sc.kill = scratch.Grow(sc.kill, nb)
 	for _, b := range p.Blocks {
-		g := bitset.New(n)
-		k := bitset.New(n)
+		g := sc.genKill.Set(b.Order)
+		k := sc.genKill.Set(nb + b.Order)
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
 			ubuf = in.UseTemps(ubuf[:0])
@@ -180,12 +235,19 @@ func Compute(p *ir.Proc) *Liveness {
 				}
 			}
 		}
-		gen[b.Order] = g
-		kill[b.Order] = k
+		sc.gen[b.Order] = g
+		sc.kill[b.Order] = k
 	}
+	sc.ubuf, sc.dbuf = ubuf, dbuf
 
-	lv.LiveIn, lv.LiveOut = SolveBackwardUnion(p.Blocks, n,
-		func(b *ir.Block) *bitset.Set { return gen[b.Order] },
-		func(b *ir.Block) *bitset.Set { return kill[b.Order] })
+	lv.LiveIn, lv.LiveOut = sc.solver.Solve(p.Blocks, n,
+		func(b *ir.Block) *bitset.Set { return sc.gen[b.Order] },
+		func(b *ir.Block) *bitset.Set { return sc.kill[b.Order] })
 	return lv
+}
+
+// Compute runs liveness analysis with throwaway storage. The procedure
+// must have been Renumber()ed so Block.Order indexes the layout slice.
+func Compute(p *ir.Proc) *Liveness {
+	return new(Scratch).Compute(p)
 }

@@ -1,10 +1,13 @@
 package dataflow
 
 import (
+	"fmt"
+	"sort"
 	"testing"
 
 	"repro/internal/bitset"
 	"repro/internal/ir"
+	"repro/internal/progs"
 	"repro/internal/target"
 )
 
@@ -173,5 +176,124 @@ func TestUninitializedUseIsUpwardExposed(t *testing.T) {
 	}
 	if !lv.LiveIn[pb.P.Entry().Order].Contains(lv.GlobalIndex(x)) {
 		t.Fatal("uninitialized use must be live into entry")
+	}
+}
+
+// sparseLiveness is a deliberately naive reference implementation: full
+// per-block map-based liveness over every temporary, no global-universe
+// restriction, no bit vectors — the "old sparse" formulation the dense
+// implementation replaced. Equivalence on arbitrary programs is the
+// correctness contract of the dense path (the §3 exclusion of
+// block-local temporaries must not change any cross-edge fact).
+func sparseLiveness(p *ir.Proc) (in, out []map[ir.Temp]bool) {
+	nb := len(p.Blocks)
+	in = make([]map[ir.Temp]bool, nb)
+	out = make([]map[ir.Temp]bool, nb)
+	gen := make([]map[ir.Temp]bool, nb)
+	kill := make([]map[ir.Temp]bool, nb)
+	var ubuf, dbuf []ir.Temp
+	for i, b := range p.Blocks {
+		in[i] = map[ir.Temp]bool{}
+		out[i] = map[ir.Temp]bool{}
+		g, k := map[ir.Temp]bool{}, map[ir.Temp]bool{}
+		for j := range b.Instrs {
+			instr := &b.Instrs[j]
+			for _, t := range instr.UseTemps(ubuf[:0]) {
+				if !k[t] {
+					g[t] = true
+				}
+			}
+			for _, t := range instr.DefTemps(dbuf[:0]) {
+				k[t] = true
+			}
+		}
+		gen[i], kill[i] = g, k
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := nb - 1; i >= 0; i-- {
+			b := p.Blocks[i]
+			for _, s := range b.Succs {
+				for t := range in[s.Order] {
+					if !out[i][t] {
+						out[i][t] = true
+						changed = true
+					}
+				}
+			}
+			for t := range out[i] {
+				if !kill[i][t] && !in[i][t] {
+					in[i][t] = true
+					changed = true
+				}
+			}
+			for t := range gen[i] {
+				if !in[i][t] {
+					in[i][t] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return in, out
+}
+
+func sortedTemps(m map[ir.Temp]bool) []ir.Temp {
+	ts := make([]ir.Temp, 0, len(m))
+	for t := range m {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts
+}
+
+func tempsEqual(a, b []ir.Temp) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDenseMatchesSparseOnRandomCorpus checks, over the random-program
+// corpus, that the dense bitset implementation — including one shared
+// Scratch reused across every procedure, the engine's pooling pattern —
+// produces exactly the per-block live-in/live-out temp sets of the
+// sparse reference.
+func TestDenseMatchesSparseOnRandomCorpus(t *testing.T) {
+	mach := target.Tiny(6, 4)
+	var shared Scratch
+	var buf []ir.Temp
+	for seed := int64(0); seed < 8; seed++ {
+		cfg := progs.DefaultGen(seed)
+		if seed%2 == 1 {
+			cfg.MaxDepth = 4
+			cfg.Stmts = 90
+		}
+		prog := progs.Random(mach, cfg)
+		for _, p := range prog.Procs {
+			p := p.Clone()
+			p.Renumber()
+			sIn, sOut := sparseLiveness(p)
+			sortTemps := func(ts []ir.Temp) []ir.Temp {
+				sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+				return ts
+			}
+			for pass, lv := range []*Liveness{Compute(p), shared.Compute(p)} {
+				name := fmt.Sprintf("seed %d proc %s pass %d", seed, p.Name, pass)
+				for _, b := range p.Blocks {
+					if got, want := sortTemps(lv.LiveInTemps(b, buf[:0])), sortedTemps(sIn[b.Order]); !tempsEqual(got, want) {
+						t.Fatalf("%s block %s: live-in dense %v sparse %v", name, b.Name, got, want)
+					}
+					if got, want := sortTemps(lv.LiveOutTemps(b, buf[:0])), sortedTemps(sOut[b.Order]); !tempsEqual(got, want) {
+						t.Fatalf("%s block %s: live-out dense %v sparse %v", name, b.Name, got, want)
+					}
+				}
+			}
+		}
 	}
 }

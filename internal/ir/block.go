@@ -196,6 +196,14 @@ func (p *Proc) NewSlot() int {
 
 // Clone returns a deep copy of the procedure. Allocators clone before
 // rewriting so that several allocators can be compared on the same input.
+//
+// The copy is arena-backed: every instruction, operand and orig-temp
+// entry of the clone lives in one backing array per kind, sized by a
+// counting pre-pass, so a clone costs a handful of allocations instead
+// of several per instruction. All sub-slices are carved with full
+// capacity (three-index slicing), so appending to any of them — a block
+// growing spill code, an operand list being extended — copies out
+// instead of clobbering a neighbor.
 func (p *Proc) Clone() *Proc {
 	q := &Proc{
 		Name:        p.Name,
@@ -205,26 +213,53 @@ func (p *Proc) Clone() *Proc {
 		NumSlots:    p.NumSlots,
 		nextBlockID: p.nextBlockID,
 	}
-	old2new := make(map[*Block]*Block, len(p.Blocks))
+	nInstr, nOps, nOrig := 0, 0, 0
 	for _, b := range p.Blocks {
-		nb := &Block{
-			ID:    b.ID,
-			Name:  b.Name,
-			Order: b.Order,
-			Depth: b.Depth,
+		nInstr += len(b.Instrs)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			nOps += len(in.Defs) + len(in.Uses)
+			nOrig += len(in.OrigDefs) + len(in.OrigUses)
 		}
-		nb.Instrs = make([]Instr, len(b.Instrs))
-		for i, in := range b.Instrs {
-			ni := in
-			ni.Defs = append([]Operand(nil), in.Defs...)
-			ni.Uses = append([]Operand(nil), in.Uses...)
-			if in.OrigUses != nil {
-				ni.OrigUses = append([]Temp(nil), in.OrigUses...)
-			}
-			if in.OrigDefs != nil {
-				ni.OrigDefs = append([]Temp(nil), in.OrigDefs...)
-			}
-			nb.Instrs[i] = ni
+	}
+	instrs := make([]Instr, 0, nInstr)
+	ops := make([]Operand, 0, nOps)
+	origs := make([]Temp, 0, nOrig)
+	takeOps := func(src []Operand) []Operand {
+		if src == nil {
+			return nil
+		}
+		start := len(ops)
+		ops = append(ops, src...)
+		return ops[start:len(ops):len(ops)]
+	}
+	takeOrigs := func(src []Temp) []Temp {
+		if src == nil {
+			return nil
+		}
+		start := len(origs)
+		origs = append(origs, src...)
+		return origs[start:len(origs):len(origs)]
+	}
+
+	old2new := make(map[*Block]*Block, len(p.Blocks))
+	q.Blocks = make([]*Block, 0, len(p.Blocks))
+	blocks := make([]Block, len(p.Blocks))
+	for bi, b := range p.Blocks {
+		nb := &blocks[bi]
+		nb.ID = b.ID
+		nb.Name = b.Name
+		nb.Order = b.Order
+		nb.Depth = b.Depth
+		start := len(instrs)
+		instrs = append(instrs, b.Instrs...)
+		nb.Instrs = instrs[start:len(instrs):len(instrs)]
+		for i := range nb.Instrs {
+			ni := &nb.Instrs[i]
+			ni.Defs = takeOps(ni.Defs)
+			ni.Uses = takeOps(ni.Uses)
+			ni.OrigUses = takeOrigs(ni.OrigUses)
+			ni.OrigDefs = takeOrigs(ni.OrigDefs)
 		}
 		old2new[b] = nb
 		q.Blocks = append(q.Blocks, nb)

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/dataflow"
 	"repro/internal/ir"
+	"repro/internal/scratch"
 	"repro/internal/target"
 )
 
@@ -116,28 +117,64 @@ type Table struct {
 	NumPos int
 }
 
+// Scratch holds the reusable working storage of lifetime analysis. The
+// interval table a Compute returns is owned by the scratch: per-interval
+// segment and reference arrays keep their capacity across calls, so
+// repeated analyses on one allocator instance (the engine's batch hot
+// path) build thousand-candidate tables without allocating. The zero
+// value is ready to use; one scratch serves one goroutine, and a
+// returned Table is valid until the next Compute on the same scratch.
+type Scratch struct {
+	tab        Table
+	backing    []Interval
+	openEnd    []int32
+	ubuf, dbuf []ir.Temp
+}
+
 // Compute builds the lifetime table with a single reverse pass over the
 // linearized procedure, as §2.1 describes. The procedure must be
 // Renumber()ed and lv must be its liveness.
 func Compute(p *ir.Proc, lv *dataflow.Liveness) *Table {
+	return new(Scratch).Compute(p, lv)
+}
+
+// Compute builds the lifetime table into the scratch's pooled storage.
+func (sc *Scratch) Compute(p *ir.Proc, lv *dataflow.Liveness) *Table {
 	nt := p.NumTemps()
-	tab := &Table{Intervals: make([]*Interval, nt), NumPos: p.NumInstrs()}
-	// One backing array instead of one allocation per interval: this is
-	// the batch hot path, and candidate counts reach thousands (Table 3).
-	backing := make([]Interval, nt)
+	tab := &sc.tab
+	tab.NumPos = p.NumInstrs()
+	// One backing array instead of one allocation per interval, reused
+	// across calls: intervals beyond nt keep their (stale) contents so
+	// their Segments/Refs capacity survives for the next large
+	// procedure — deliberately trading bounded retention for
+	// steady-state zero allocation, the opposite of the throwaway path.
+	if cap(sc.backing) < nt {
+		sc.backing = make([]Interval, nt)
+	} else {
+		sc.backing = sc.backing[:nt]
+	}
+	if cap(tab.Intervals) < nt {
+		tab.Intervals = make([]*Interval, nt)
+	} else {
+		tab.Intervals = tab.Intervals[:nt]
+	}
 	for t := 0; t < nt; t++ {
-		backing[t] = Interval{Temp: ir.Temp(t)}
-		tab.Intervals[t] = &backing[t]
+		iv := &sc.backing[t]
+		iv.Temp = ir.Temp(t)
+		iv.Segments = iv.Segments[:0]
+		iv.Refs = iv.Refs[:0]
+		tab.Intervals[t] = iv
 	}
 
 	// openEnd[t] >= 0 means a live segment of t is open, ending (in
 	// forward terms) at that position.
-	openEnd := make([]int32, nt)
+	openEnd := scratch.Grow(sc.openEnd, nt)
+	sc.openEnd = openEnd
 	for i := range openEnd {
 		openEnd[i] = -1
 	}
 	// Segments are appended in reverse order and reversed at the end.
-	var ubuf, dbuf []ir.Temp
+	ubuf, dbuf := sc.ubuf, sc.dbuf
 
 	for bi := len(p.Blocks) - 1; bi >= 0; bi-- {
 		b := p.Blocks[bi]
@@ -214,6 +251,7 @@ func Compute(p *ir.Proc, lv *dataflow.Liveness) *Table {
 			}
 		}
 	}
+	sc.ubuf, sc.dbuf = ubuf, dbuf
 	return tab
 }
 
@@ -255,18 +293,46 @@ type RegBusy struct {
 	segs [][]Segment // indexed by Reg
 }
 
+// RegScratch holds the reusable working storage of ComputeRegBusy. As
+// with Scratch, the RegBusy a Compute returns is owned by the scratch
+// and valid until the next Compute on it; per-register segment arrays
+// keep their capacity across calls. The zero value is ready to use.
+type RegScratch struct {
+	rb          RegBusy
+	callerSaved []target.Reg
+	openEnd     []int32
+	ubuf, dbuf  []target.Reg
+}
+
 // ComputeRegBusy scans the procedure once and builds the busy table.
 // Physical registers are block-local (validated builder invariant), so a
 // per-block backward scan suffices; parameter registers in the entry
 // block are busy from the block top.
 func ComputeRegBusy(p *ir.Proc, mach *target.Machine) *RegBusy {
-	rb := &RegBusy{mach: mach, segs: make([][]Segment, mach.NumRegs())}
-	callerSaved := make([]target.Reg, 0, 8)
+	return new(RegScratch).Compute(p, mach)
+}
+
+// Compute builds the busy table into the scratch's pooled storage.
+func (sc *RegScratch) Compute(p *ir.Proc, mach *target.Machine) *RegBusy {
+	rb := &sc.rb
+	rb.mach = mach
+	nr := mach.NumRegs()
+	if cap(rb.segs) < nr {
+		rb.segs = make([][]Segment, nr)
+	} else {
+		rb.segs = rb.segs[:nr]
+	}
+	for r := range rb.segs {
+		rb.segs[r] = rb.segs[r][:0]
+	}
+	callerSaved := sc.callerSaved[:0]
 	for c := target.Class(0); c < target.NumClasses; c++ {
 		callerSaved = append(callerSaved, mach.CallerSavedRegs(c)...)
 	}
-	openEnd := make([]int32, mach.NumRegs())
-	var ubuf, dbuf []target.Reg
+	sc.callerSaved = callerSaved
+	openEnd := scratch.Grow(sc.openEnd, nr)
+	sc.openEnd = openEnd
+	ubuf, dbuf := sc.ubuf, sc.dbuf
 
 	for bi := len(p.Blocks) - 1; bi >= 0; bi-- {
 		b := p.Blocks[bi]
@@ -318,6 +384,7 @@ func ComputeRegBusy(p *ir.Proc, mach *target.Machine) *RegBusy {
 			s[i], s[j] = s[j], s[i]
 		}
 	}
+	sc.ubuf, sc.dbuf = ubuf, dbuf
 	return rb
 }
 

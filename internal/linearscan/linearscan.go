@@ -29,8 +29,13 @@ import (
 
 // Allocator is the Poletto-style linear-scan allocator.
 type Allocator struct {
-	mach *target.Machine
+	mach          *target.Machine
+	profileAllocs bool
 }
+
+// SetPhaseProfile toggles heap-allocation sampling at phase boundaries;
+// the engine calls it on pooled instances under WithPhaseProfile.
+func (a *Allocator) SetPhaseProfile(on bool) { a.profileAllocs = on }
 
 // New returns a linear-scan allocator for the machine.
 func New(m *target.Machine) *Allocator { return &Allocator{mach: m} }
@@ -53,16 +58,26 @@ type span struct {
 // Allocate clones p, assigns whole flat intervals to registers with the
 // furthest-end spill heuristic, rewrites, and returns statistics.
 func (a *Allocator) Allocate(orig *ir.Proc) (*alloc.Result, error) {
-	p := orig.Clone()
+	return a.AllocateOwned(orig.Clone())
+}
+
+// AllocateOwned allocates a procedure the caller owns: p is rewritten in
+// place and must not be used afterwards.
+func (a *Allocator) AllocateOwned(p *ir.Proc) (*alloc.Result, error) {
+	res := &alloc.Result{Proc: p}
+	tm := alloc.NewTimer(a.profileAllocs)
 	p.Renumber()
+	tm.Mark(&res.Stats, alloc.PhaseOther)
 	cfg.ComputeLoopDepths(p)
+	tm.Mark(&res.Stats, alloc.PhaseCFG)
 	lv := dataflow.Compute(p)
+	tm.Mark(&res.Stats, alloc.PhaseDataflow)
 
 	start := time.Now()
 	lt := lifetime.Compute(p, lv)
 	rb := lifetime.ComputeRegBusy(p, a.mach)
+	tm.Mark(&res.Stats, alloc.PhaseLifetime)
 
-	res := &alloc.Result{Proc: p}
 	res.Stats.Candidates = p.NumTemps()
 
 	scratch := alloc.PickScratch(a.mach)
@@ -81,7 +96,7 @@ func (a *Allocator) Allocate(orig *ir.Proc) (*alloc.Result, error) {
 	sort.SliceStable(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
 
 	asn := alloc.NewAssignment(p)
-	usedCallee := make(map[target.Reg]bool)
+	usedCallee := make([]bool, a.mach.NumRegs())
 
 	// One active list per class, sorted by increasing end.
 	var active [target.NumClasses][]*span
@@ -143,11 +158,10 @@ func (a *Allocator) Allocate(orig *ir.Proc) (*alloc.Result, error) {
 		}
 	}
 
+	tm.Mark(&res.Stats, alloc.PhaseScan)
 	frame := alloc.NewFrame(p)
-	used := alloc.RewriteAssigned(p, a.mach, asn, frame, scratch)
-	for r := range used {
-		usedCallee[r] = true
-	}
+	alloc.RewriteAssigned(p, a.mach, asn, frame, scratch, usedCallee)
+	tm.Mark(&res.Stats, alloc.PhaseMoves)
 	res.Stats.UsedCalleeSaved = alloc.InsertCalleeSaves(p, a.mach, usedCallee)
 	res.Stats.AllocTime = time.Since(start)
 	res.Stats.SpilledTemps = frame.NumSpilled()
@@ -156,6 +170,7 @@ func (a *Allocator) Allocate(orig *ir.Proc) (*alloc.Result, error) {
 	if err := alloc.CheckNoTemps(p); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name(), err)
 	}
+	tm.Mark(&res.Stats, alloc.PhaseOther)
 	return res, nil
 }
 

@@ -10,11 +10,33 @@
 // an error. Calls clobber caller-saved registers, so convention bugs
 // (keeping a live value in a caller-saved register across a call) are
 // caught statically, complementing the VM's paranoid mode.
+//
+// One deliberate relaxation models the VM's zero-initialized temporary
+// semantics: a use of a temporary that is not defined along every path
+// reaching it ("maybe-undefined") is exempt from the location check
+// when the location's symbolic content is unknown — i.e. the incoming
+// paths disagree about what it holds, which is exactly the shape a
+// skippable def produces. In the original program such a read yields
+// the temp file's initial zero, so no allocation decision can be
+// proven wrong against it — demanding a location proof on the
+// structurally-skippable paths would reject correct whole-lifetime
+// allocations (coloring, linear scan, two-pass binpacking) of
+// generator programs whose defs sit inside loops that always execute
+// but could statically be skipped. The exemption stays narrow: if
+// every path agrees the location holds a different temporary's value,
+// the defined paths are provably miscompiled and the use is still
+// rejected, and uses defined along every path are checked exactly as
+// before. The residual blind spot is acknowledged: a wrong-location
+// read of a maybe-undefined temporary whose location is also unknown
+// at the merge (e.g. a dropped resolution move for exactly such a
+// temp) is indistinguishable from the legitimate skippable-def shape
+// without path-sensitive analysis, and is accepted.
 package verify
 
 import (
 	"fmt"
 
+	"repro/internal/bitset"
 	"repro/internal/ir"
 	"repro/internal/target"
 )
@@ -99,7 +121,7 @@ func Verify(p *ir.Proc, mach *target.Machine) error {
 		work = work[:len(work)-1]
 		queued[index[b]] = false
 		out := in[index[b]].clone()
-		transferBlock(p, mach, b, out, nil)
+		transferBlock(p, mach, b, out, nil, nil)
 		for _, s := range b.Succs {
 			if in[index[s]] == nil {
 				in[index[s]] = out.clone()
@@ -113,14 +135,17 @@ func Verify(p *ir.Proc, mach *target.Machine) error {
 		}
 	}
 
+	mustIn := mustDefined(p, index)
+
 	// Final pass with checks enabled.
 	for _, b := range p.Blocks {
 		if in[index[b]] == nil {
 			continue // unreachable
 		}
 		st := in[index[b]].clone()
+		must := mustIn[index[b]].Clone()
 		var err error
-		transferBlock(p, mach, b, st, func(e error) {
+		transferBlock(p, mach, b, st, must, func(e error) {
 			if err == nil {
 				err = e
 			}
@@ -132,9 +157,61 @@ func Verify(p *ir.Proc, mach *target.Machine) error {
 	return nil
 }
 
+// mustDefined computes, per block, the set of temporaries defined along
+// every path from entry to the block's top (a forward intersection
+// dataflow over OrigDefs). Uses of temporaries outside this set read the
+// VM's zero-initialized temp file in the original program and are exempt
+// from location checking; see the package comment.
+func mustDefined(p *ir.Proc, index map[*ir.Block]int) []*bitset.Set {
+	nt := p.NumTemps()
+	nb := len(p.Blocks)
+	gen := make([]*bitset.Set, nb)
+	mustIn := make([]*bitset.Set, nb)
+	for i, b := range p.Blocks {
+		g := bitset.New(nt)
+		for j := range b.Instrs {
+			for _, t := range b.Instrs[j].OrigDefs {
+				if t != ir.NoTemp {
+					g.Add(int(t))
+				}
+			}
+		}
+		gen[i] = g
+		mustIn[i] = bitset.New(nt)
+		if b != p.Entry() {
+			mustIn[i].Fill() // lattice top; entry starts empty
+		}
+	}
+	work := []*ir.Block{p.Entry()}
+	queued := make([]bool, nb)
+	queued[index[p.Entry()]] = true
+	out := bitset.New(nt)
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		bi := index[b]
+		queued[bi] = false
+		out.Copy(mustIn[bi])
+		out.Union(gen[bi])
+		for _, s := range b.Succs {
+			si := index[s]
+			before := mustIn[si].Count()
+			mustIn[si].Intersect(out)
+			if mustIn[si].Count() != before && !queued[si] {
+				queued[si] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return mustIn
+}
+
 // transferBlock interprets one block symbolically, mutating st. When
-// check is non-nil, use sites are validated.
-func transferBlock(p *ir.Proc, mach *target.Machine, b *ir.Block, st state, check func(error)) {
+// check is non-nil, use sites are validated; must then carries the
+// must-defined set at the block's top and is updated as defs execute, so
+// uses of maybe-undefined temporaries (zero in the VM's temp file) can
+// be exempted.
+func transferBlock(p *ir.Proc, mach *target.Machine, b *ir.Block, st state, must *bitset.Set, check func(error)) {
 	invalidate := func(t ir.Temp) {
 		for k, v := range st {
 			if v == t {
@@ -167,6 +244,18 @@ func transferBlock(p *ir.Proc, mach *target.Machine, b *ir.Block, st state, chec
 					continue
 				}
 				if v, ok := st[l]; !ok || v != t {
+					if !ok && must != nil && !must.Contains(int(t)) {
+						// Maybe-undefined and the location's content is
+						// unknown (the paths disagree about it): the
+						// original program reads the zero-initialized
+						// temp file here, so the location check is
+						// waived (see the package comment). If every
+						// path instead agrees the location holds a
+						// DIFFERENT temporary's value, the defined
+						// paths are provably wrong and the error
+						// stands.
+						continue
+					}
 					have := "unknown"
 					if ok {
 						have = p.TempName(v)
@@ -251,6 +340,14 @@ func transferBlock(p *ir.Proc, mach *target.Machine, b *ir.Block, st state, chec
 				invalidate(t)
 				if ok {
 					st[l] = t
+				}
+			}
+		}
+
+		if must != nil {
+			for _, t := range instr.OrigDefs {
+				if t != ir.NoTemp {
+					must.Add(int(t))
 				}
 			}
 		}

@@ -91,6 +91,112 @@ func TestSpillRoundTripAccepted(t *testing.T) {
 	}
 }
 
+// TestMaybeUndefinedUseExempt pins the zero-initialized-temp rule: a use
+// whose def executes only on one branch of a diamond reads the VM's zero
+// temp file on the other, so the verifier must accept it — while a use
+// of a temp defined on every path keeps full location checking.
+func TestMaybeUndefinedUseExempt(t *testing.T) {
+	mach := target.Tiny(6, 3)
+	p := ir.NewProc("main")
+	x := p.NewTemp(target.ClassInt, "x")
+	r1 := mach.Reg(target.ClassInt, 1)
+	r3 := mach.Reg(target.ClassInt, 3)
+
+	entry := p.NewBlock("entry")
+	thenB := p.NewBlock("then")
+	join := p.NewBlock("join")
+	entry.Instrs = []ir.Instr{
+		{Op: ir.Ldi, Defs: []ir.Operand{ir.RegOp(r3)}, Uses: []ir.Operand{ir.ImmOp(0)}},
+		{Op: ir.Br, Uses: []ir.Operand{ir.RegOp(r3)}},
+	}
+	ir.AddEdge(entry, thenB)
+	ir.AddEdge(entry, join)
+	// x is defined only on the then-path.
+	thenB.Instrs = []ir.Instr{
+		{Op: ir.Ldi, Defs: []ir.Operand{ir.RegOp(r1)}, Uses: []ir.Operand{ir.ImmOp(7)},
+			OrigDefs: []ir.Temp{x}, OrigUses: []ir.Temp{ir.NoTemp}},
+		{Op: ir.Jmp},
+	}
+	ir.AddEdge(thenB, join)
+	// join uses x from r1: along the fall-through path x is undefined
+	// (reads zero in the original program), so this must be accepted.
+	join.Instrs = []ir.Instr{
+		{Op: ir.Add, Defs: []ir.Operand{ir.RegOp(r3)}, Uses: []ir.Operand{ir.RegOp(r1), ir.ImmOp(0)},
+			OrigDefs: []ir.Temp{ir.NoTemp}, OrigUses: []ir.Temp{x, ir.NoTemp}},
+		{Op: ir.Ret},
+	}
+	if err := Verify(p, mach); err != nil {
+		t.Fatalf("maybe-undefined use rejected: %v", err)
+	}
+
+	// Define x on the fall-through path too (into a different register,
+	// with no resolution move): now x is must-defined at the use and the
+	// disagreement is a real error again.
+	r2 := mach.Reg(target.ClassInt, 2)
+	split := p.NewBlock("split")
+	entry.Succs[1] = split
+	for i, q := range join.Preds {
+		if q == entry {
+			join.Preds[i] = split
+		}
+	}
+	split.Preds = []*ir.Block{entry}
+	split.Succs = []*ir.Block{join}
+	split.Instrs = []ir.Instr{
+		{Op: ir.Ldi, Defs: []ir.Operand{ir.RegOp(r2)}, Uses: []ir.Operand{ir.ImmOp(9)},
+			OrigDefs: []ir.Temp{x}, OrigUses: []ir.Temp{ir.NoTemp}},
+		{Op: ir.Jmp},
+	}
+	if err := Verify(p, mach); err == nil {
+		t.Fatal("must-defined disagreeing use accepted")
+	}
+}
+
+// TestMaybeUndefinedStillRejectsAgreedWrongRegister pins the narrowness
+// of the zero-init exemption: when every path agrees the read location
+// holds a DIFFERENT temporary's value, the defined path is provably
+// miscompiled and the use must be rejected even though the temp is
+// maybe-undefined.
+func TestMaybeUndefinedStillRejectsAgreedWrongRegister(t *testing.T) {
+	mach := target.Tiny(6, 3)
+	p := ir.NewProc("main")
+	x := p.NewTemp(target.ClassInt, "x")
+	y := p.NewTemp(target.ClassInt, "y")
+	r1 := mach.Reg(target.ClassInt, 1)
+	r2 := mach.Reg(target.ClassInt, 2)
+	r3 := mach.Reg(target.ClassInt, 3)
+
+	entry := p.NewBlock("entry")
+	thenB := p.NewBlock("then")
+	join := p.NewBlock("join")
+	// y lives in r2 along every path; x (defined only on the then-path)
+	// lives in r1.
+	entry.Instrs = []ir.Instr{
+		{Op: ir.Ldi, Defs: []ir.Operand{ir.RegOp(r2)}, Uses: []ir.Operand{ir.ImmOp(3)},
+			OrigDefs: []ir.Temp{y}, OrigUses: []ir.Temp{ir.NoTemp}},
+		{Op: ir.Br, Uses: []ir.Operand{ir.RegOp(r2)}},
+	}
+	ir.AddEdge(entry, thenB)
+	ir.AddEdge(entry, join)
+	thenB.Instrs = []ir.Instr{
+		{Op: ir.Ldi, Defs: []ir.Operand{ir.RegOp(r1)}, Uses: []ir.Operand{ir.ImmOp(7)},
+			OrigDefs: []ir.Temp{x}, OrigUses: []ir.Temp{ir.NoTemp}},
+		{Op: ir.Jmp},
+	}
+	ir.AddEdge(thenB, join)
+	// join reads x from r2 — but r2 holds y on BOTH paths: on the
+	// then-path (x defined, live in r1) this reads the wrong value, so
+	// the maybe-undefined exemption must not apply.
+	join.Instrs = []ir.Instr{
+		{Op: ir.Add, Defs: []ir.Operand{ir.RegOp(r3)}, Uses: []ir.Operand{ir.RegOp(r2), ir.ImmOp(0)},
+			OrigDefs: []ir.Temp{ir.NoTemp}, OrigUses: []ir.Temp{x, ir.NoTemp}},
+		{Op: ir.Ret},
+	}
+	if err := Verify(p, mach); err == nil {
+		t.Fatal("agreed-wrong-register read of maybe-undefined temp accepted")
+	}
+}
+
 func TestMergeRequiresAgreement(t *testing.T) {
 	mach := target.Tiny(6, 3)
 	p := ir.NewProc("main")

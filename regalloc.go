@@ -81,8 +81,20 @@ type (
 	Result = alloc.Result
 	// Stats describes what an allocation did.
 	Stats = alloc.Stats
+	// PhaseTimes breaks a pipeline run's cost down by phase; Stats
+	// carries one and Report.PhaseStats aggregates them per batch.
+	PhaseTimes = alloc.PhaseTimes
+	// PhaseSample is one phase's accumulated wall time and (under
+	// WithPhaseProfile) heap-allocation counters.
+	PhaseSample = alloc.PhaseSample
 	// Allocator is the common allocator interface.
 	Allocator = alloc.Allocator
+	// OwnedAllocator is the optional in-place fast path an Allocator
+	// can implement to skip the engine's defensive clone.
+	OwnedAllocator = alloc.OwnedAllocator
+	// PhaseProfiler is the optional interface through which the engine
+	// enables per-phase allocation sampling (WithPhaseProfile).
+	PhaseProfiler = alloc.PhaseProfiler
 
 	// BinpackOptions configures the binpacking allocator (the paper's
 	// §2 knobs: move optimization, early second chance, strict-linear
