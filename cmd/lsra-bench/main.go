@@ -38,6 +38,9 @@ type benchOutput struct {
 	Figure3   []experiments.Figure3Row  `json:"figure3,omitempty"`
 	Table3    []experiments.Table3Row   `json:"table3,omitempty"`
 	Ablations []experiments.AblationRow `json:"ablations,omitempty"`
+	// Sweep is the registers-vs-quality curve: one benchmark across the
+	// machine presets and a tiny ladder under every allocator.
+	Sweep []experiments.SweepPoint `json:"sweep,omitempty"`
 	// Allocation holds one engine Report per suite benchmark.
 	Allocation []allocReport `json:"allocation,omitempty"`
 }
@@ -55,6 +58,8 @@ func main() {
 		f3      = flag.Bool("figure3", false, "regenerate Figure 3 data")
 		t3      = flag.Bool("table3", false, "regenerate Table 3")
 		abl     = flag.Bool("ablation", false, "run the two-pass and feature ablations")
+		sweep   = flag.Bool("sweep", false, "registers-vs-quality sweep across machine shapes")
+		sweepB  = flag.String("sweep-bench", "eqntott", "benchmark the -sweep runs")
 		allocF  = flag.Bool("alloc", false, "per-benchmark engine allocation reports")
 		all     = flag.Bool("all", false, "run everything")
 		scale   = flag.Float64("scale", 1.0, "workload scale multiplier")
@@ -65,9 +70,9 @@ func main() {
 	)
 	flag.Parse()
 	if *all {
-		*t1, *t2, *f3, *t3, *abl, *allocF = true, true, true, true, true, true
+		*t1, *t2, *f3, *t3, *abl, *sweep, *allocF = true, true, true, true, true, true, true
 	}
-	if !*t1 && !*t2 && !*f3 && !*t3 && !*abl && !*allocF {
+	if !*t1 && !*t2 && !*f3 && !*t3 && !*abl && !*sweep && !*allocF {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -103,6 +108,13 @@ func main() {
 	if *abl {
 		benches := []string{"wc", "eqntott", "li", "fpppp"}
 		if out.Ablations, err = experiments.Ablations(mach, benches, *scale); err != nil {
+			die(err)
+		}
+	}
+	if *sweep {
+		machines := experiments.SweepMachines()
+		allocators := []string{"binpack", "twopass", "coloring", "linearscan"}
+		if out.Sweep, err = experiments.RegisterSweep(machines, allocators, *sweepB, *scale); err != nil {
 			die(err)
 		}
 	}
@@ -203,6 +215,18 @@ func printText(out *benchOutput) {
 		for _, r := range out.Ablations {
 			fmt.Printf("%-10s %-34s %14d %12d %7.3f\n",
 				r.Benchmark, r.Variant, r.Instrs, r.Spill, r.RatioToPaper)
+		}
+		fmt.Println()
+	}
+
+	if out.Sweep != nil {
+		fmt.Println("Register sweep: dynamic overhead as the register file narrows")
+		fmt.Println("(ratio is instrs relative to the same allocator on the widest machine)")
+		fmt.Printf("%-12s %5s %5s  %-12s %12s %10s %8s %7s\n",
+			"machine", "ints", "flts", "allocator", "instrs", "spill", "spill%", "ratio")
+		for _, p := range out.Sweep {
+			fmt.Printf("%-12s %5d %5d  %-12s %12d %10d %7.3f%% %7.3f\n",
+				p.Machine, p.IntRegs, p.FloatRegs, p.Allocator, p.Instrs, p.Spill, p.SpillPct, p.RatioToWidest)
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,162 @@
+// Command lsra-conform runs the differential conformance matrix: every
+// selected allocator × machine × workload profile × seed, executing each
+// program on the VM before allocation (temp semantics) and after
+// allocation (paranoid mode) and diffing all observable behavior. The
+// report is JSON on stdout; the exit status is 1 when any cell diverged.
+//
+//	lsra-conform                                # full default grid
+//	lsra-conform -seeds 5 -fail-fast
+//	lsra-conform -allocators binpack,coloring -machines x86-8,tiny:4,3
+//	lsra-conform -profiles call-heavy,high-pressure -cells
+//
+// Divergent cells are minimized (the generator's statement budget is
+// halved while the divergence reproduces) and reported as the
+// (allocator, machine, profile, seed, min_stmts) tuple that reproduces
+// them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/conform"
+	"repro/internal/progs"
+	"repro/internal/target"
+)
+
+func main() {
+	var (
+		allocators = flag.String("allocators", "", "comma-separated allocator names (default: every registered allocator)")
+		machines   = flag.String("machines", "", "comma-separated machine names: presets or tiny:<ints>,<floats> (default: every preset)")
+		profiles   = flag.String("profiles", "", "comma-separated generator profiles (default: all)")
+		seeds      = flag.String("seeds", "3", "seed count N (seeds 1..N), or an explicit comma-separated seed list")
+		cells      = flag.Bool("cells", false, "include every per-cell result in the report, not just divergences")
+		failFast   = flag.Bool("fail-fast", false, "stop scheduling cells after the first divergence")
+		noShrink   = flag.Bool("no-shrink", false, "skip minimizing divergent cells")
+		jobs       = flag.Int("jobs", 0, "parallel workers (0 = all CPUs)")
+		maxSteps   = flag.Int64("max-steps", 0, "VM fuel per execution (0 = harness default)")
+		list       = flag.Bool("list", false, "print the grid axes and exit")
+	)
+	flag.Parse()
+
+	g := conform.Grid{
+		Allocators: splitOrDefault(*allocators, alloc.Names()),
+		Machines:   splitMachines(*machines),
+		Profiles:   splitOrDefault(*profiles, progs.Profiles()),
+	}
+	var err error
+	if g.Seeds, err = parseSeeds(*seeds); err != nil {
+		die(err)
+	}
+
+	if *list {
+		fmt.Printf("allocators: %s\n", strings.Join(g.Allocators, " "))
+		fmt.Printf("machines:   %s\n", strings.Join(g.Machines, " "))
+		fmt.Printf("profiles:   %s\n", strings.Join(g.Profiles, " "))
+		fmt.Printf("seeds:      %v  (%d cells)\n", g.Seeds, len(g.Cells()))
+		return
+	}
+
+	rep := conform.Run(g, conform.Options{
+		FailFast:    *failFast,
+		Parallelism: *jobs,
+		MaxSteps:    *maxSteps,
+		NoShrink:    *noShrink,
+	}, *cells)
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		die(err)
+	}
+	if len(rep.Divergences) > 0 {
+		fmt.Fprintf(os.Stderr, "lsra-conform: %d of %d cells diverged (%d skipped)\n",
+			len(rep.Divergences), rep.Cells, rep.Skipped)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "lsra-conform: %d cells conform\n", rep.Cells)
+}
+
+func splitOrDefault(s string, def []string) []string {
+	if s == "" {
+		return def
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// splitMachines splits the -machines list while keeping the
+// "tiny:<ints>,<floats>" form intact: a bare-integer token is glued
+// back onto a preceding "tiny:<n>" token, so
+// "x86-8,tiny:4,3" → [x86-8 tiny:4,3].
+func splitMachines(s string) []string {
+	if s == "" {
+		return target.PresetNames()
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if n := len(out); n > 0 && isUint(p) && strings.HasPrefix(out[n-1], "tiny:") && isUint(out[n-1][len("tiny:"):]) {
+			out[n-1] += "," + p
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func isUint(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSeeds accepts either a count ("5" → seeds 1..5) or an explicit
+// list ("7,19,23").
+func parseSeeds(s string) ([]int64, error) {
+	if !strings.Contains(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -seeds %q (want a count or a comma-separated list)", s)
+		}
+		seeds := make([]int64, n)
+		for i := range seeds {
+			seeds[i] = int64(i + 1)
+		}
+		return seeds, nil
+	}
+	var seeds []int64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q in -seeds", p)
+		}
+		seeds = append(seeds, v)
+	}
+	return seeds, nil
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "lsra-conform:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,308 @@
+package conform
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/progs"
+	"repro/internal/target"
+	"repro/internal/vm"
+)
+
+// Cell is one point of the conformance grid. The four coordinates fully
+// determine the experiment: the cell's program is regenerated from
+// (Profile, Seed) on the named machine and allocated with the named
+// allocator, so a reported divergence is reproducible from the cell
+// alone.
+type Cell struct {
+	Allocator string `json:"allocator"`
+	Machine   string `json:"machine"`
+	Profile   string `json:"profile"`
+	Seed      int64  `json:"seed"`
+}
+
+func (c Cell) String() string {
+	return fmt.Sprintf("%s/%s/%s/seed=%d", c.Allocator, c.Machine, c.Profile, c.Seed)
+}
+
+// Divergence is one failed cell: the mismatch plus the smallest
+// statement budget at which it still reproduces.
+type Divergence struct {
+	Cell
+	Mismatch
+	// MinStmts is the smallest GenConfig.Stmts at which the cell still
+	// diverges, found by halving the budget; it equals the profile's
+	// full budget when no smaller program reproduces the divergence.
+	// Zero means shrinking did not run (Options.NoShrink, or the cell
+	// failed before a program was generated).
+	MinStmts int `json:"min_stmts,omitempty"`
+}
+
+// CellResult is the outcome of one conformance cell.
+type CellResult struct {
+	Cell
+	OK bool `json:"ok"`
+	// Skipped marks a cell that was never executed because FailFast
+	// stopped the grid; OK is false and no counters are reported.
+	Skipped bool `json:"skipped,omitempty"`
+	// RefInstrs / AllocInstrs are the dynamic instruction counts of the
+	// two executions; SpillOps and SaveRestoreOps break the difference
+	// down (zero when the cell failed before executing).
+	RefInstrs      int64       `json:"ref_instrs,omitempty"`
+	AllocInstrs    int64       `json:"alloc_instrs,omitempty"`
+	SpillOps       int64       `json:"spill_ops,omitempty"`
+	SaveRestoreOps int64       `json:"save_restore_ops,omitempty"`
+	Divergence     *Divergence `json:"divergence,omitempty"`
+}
+
+// Grid spans the cells to check: the cross product of its four axes.
+type Grid struct {
+	Allocators []string `json:"allocators"`
+	Machines   []string `json:"machines"`
+	Profiles   []string `json:"profiles"`
+	Seeds      []int64  `json:"seeds"`
+}
+
+// DefaultGrid covers every registered allocator, every machine preset,
+// and every generator profile over nSeeds consecutive seeds starting at
+// seed0.
+func DefaultGrid(seed0 int64, nSeeds int) Grid {
+	seeds := make([]int64, 0, nSeeds)
+	for s := int64(0); s < int64(nSeeds); s++ {
+		seeds = append(seeds, seed0+s)
+	}
+	return Grid{
+		Allocators: alloc.Names(),
+		Machines:   target.PresetNames(),
+		Profiles:   progs.Profiles(),
+		Seeds:      seeds,
+	}
+}
+
+// Cells enumerates the grid in deterministic order (allocator-major,
+// seed-minor).
+func (g Grid) Cells() []Cell {
+	cells := make([]Cell, 0, len(g.Allocators)*len(g.Machines)*len(g.Profiles)*len(g.Seeds))
+	for _, a := range g.Allocators {
+		for _, m := range g.Machines {
+			for _, p := range g.Profiles {
+				for _, s := range g.Seeds {
+					cells = append(cells, Cell{Allocator: a, Machine: m, Profile: p, Seed: s})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Options tunes a grid run.
+type Options struct {
+	// FailFast stops scheduling new cells after the first divergence.
+	FailFast bool
+	// Parallelism bounds the worker pool (≤ 0 selects GOMAXPROCS).
+	Parallelism int
+	// MaxSteps bounds each VM execution (0 means the defaultMaxSteps
+	// fuel; grid programs are small, so a tight bound converts allocator
+	// -induced runaway loops into exec-error divergences quickly).
+	MaxSteps int64
+	// NoShrink skips the minimization pass on divergent cells.
+	NoShrink bool
+	// Input is the byte stream fed to the getc intrinsic (a fixed
+	// default keeps cells reproducible without recording it).
+	Input []byte
+}
+
+const defaultMaxSteps = 20_000_000
+
+// defaultInput is the fixed getc stream every cell consumes.
+var defaultInput = []byte("conformance grid input: the quick brown fox jumps over the lazy dog 0123456789")
+
+// AllocatorSummary aggregates the passing cells of one allocator.
+type AllocatorSummary struct {
+	Cells       int   `json:"cells"`
+	Divergent   int   `json:"divergent"`
+	RefInstrs   int64 `json:"ref_instrs"`
+	AllocInstrs int64 `json:"alloc_instrs"`
+	SpillOps    int64 `json:"spill_ops"`
+}
+
+// Report is the outcome of a grid run. Cells = Passed + Skipped +
+// len(Divergences); Skipped counts cells FailFast left unexecuted.
+type Report struct {
+	Grid        Grid                        `json:"grid"`
+	Cells       int                         `json:"cells"`
+	Passed      int                         `json:"passed"`
+	Skipped     int                         `json:"skipped,omitempty"`
+	Divergences []Divergence                `json:"divergences"`
+	ByAllocator map[string]AllocatorSummary `json:"by_allocator"`
+	// Results holds every cell in grid order when Run was asked to keep
+	// them (cmd/lsra-conform -cells).
+	Results []CellResult `json:"results,omitempty"`
+}
+
+// Run checks every cell of the grid over a bounded worker pool and
+// aggregates the outcome. Results are deterministic and in grid order
+// regardless of parallelism. keepCells retains every per-cell result in
+// Report.Results (not just divergences).
+func Run(g Grid, o Options, keepCells bool) *Report {
+	cells := g.Cells()
+	results := make([]CellResult, len(cells))
+
+	workers := o.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		stopped bool
+	)
+	idx := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = CheckCell(cells[i], o)
+				if !results[i].OK && o.FailFast {
+					mu.Lock()
+					stopped = true
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range cells {
+		mu.Lock()
+		stop := stopped
+		mu.Unlock()
+		if stop {
+			results[i] = CellResult{Cell: cells[i], Skipped: true}
+			continue
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	rep := &Report{
+		Grid:        g,
+		Cells:       len(cells),
+		Divergences: []Divergence{},
+		ByAllocator: make(map[string]AllocatorSummary),
+	}
+	for i := range results {
+		r := &results[i]
+		sum := rep.ByAllocator[r.Allocator]
+		switch {
+		case r.Skipped:
+			rep.Skipped++
+		case r.OK:
+			rep.Passed++
+			sum.Cells++
+			sum.RefInstrs += r.RefInstrs
+			sum.AllocInstrs += r.AllocInstrs
+			sum.SpillOps += r.SpillOps
+		default:
+			sum.Cells++
+			sum.Divergent++
+			rep.Divergences = append(rep.Divergences, *r.Divergence)
+		}
+		rep.ByAllocator[r.Allocator] = sum
+	}
+	if keepCells {
+		rep.Results = results
+	}
+	return rep
+}
+
+// CheckCell runs one conformance cell end to end.
+func CheckCell(c Cell, o Options) CellResult {
+	res := CellResult{Cell: c}
+	maxSteps := o.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = defaultMaxSteps
+	}
+	input := o.Input
+	if input == nil {
+		input = defaultInput
+	}
+	mm, refRes, gotRes := checkOnce(c, 0, input, maxSteps)
+	if mm == nil {
+		res.OK = true
+		res.RefInstrs = refRes.Counters.Total
+		res.AllocInstrs = gotRes.Counters.Total
+		res.SpillOps = gotRes.Counters.SpillOverhead()
+		res.SaveRestoreOps = gotRes.Counters.SaveRestoreOverhead()
+		return res
+	}
+	div := &Divergence{Cell: c, Mismatch: *mm}
+	// Config errors reproduce at any budget; shrinking them would only
+	// claim a bogus one-statement reproduction for a bad cell name.
+	if !o.NoShrink && mm.Kind != KindConfigError {
+		div.MinStmts = shrink(c, mm.Kind, input, maxSteps)
+	}
+	res.Divergence = div
+	return res
+}
+
+// checkOnce builds the cell's program (with an optional statement-budget
+// override for shrinking) and checks it. stmts == 0 keeps the profile's
+// own budget. Unresolvable cell coordinates — unknown allocator,
+// machine or profile names — report KindConfigError before any program
+// is generated.
+func checkOnce(c Cell, stmts int, input []byte, maxSteps int64) (*Mismatch, *vm.Result, *vm.Result) {
+	if _, ok := alloc.Lookup(c.Allocator); !ok {
+		return &Mismatch{Kind: KindConfigError, Detail: fmt.Sprintf(
+			"unknown allocator %q (have %v)", c.Allocator, alloc.Names())}, nil, nil
+	}
+	mach, err := machineFor(c.Machine)
+	if err != nil {
+		return &Mismatch{Kind: KindConfigError, Detail: err.Error()}, nil, nil
+	}
+	cfg, err := progs.ProfileGen(c.Profile, c.Seed)
+	if err != nil {
+		return &Mismatch{Kind: KindConfigError, Detail: err.Error()}, nil, nil
+	}
+	if stmts > 0 {
+		cfg.Stmts = stmts
+	}
+	prog := progs.Random(mach, cfg)
+	ref, got, mm := Check(prog, mach, c.Allocator, input, maxSteps)
+	return mm, ref, got
+}
+
+// machineFor resolves a grid machine name: a preset, or the
+// parameterized tiny:<ints>,<floats> form the CLIs accept.
+func machineFor(name string) (*target.Machine, error) {
+	return target.Parse(name)
+}
+
+// shrink minimizes a divergent cell by halving the generator's statement
+// budget while the divergence (any divergence of the same kind) still
+// reproduces, returning the smallest budget that diverges. The cell
+// tuple plus this budget is the minimized reproduction recipe.
+func shrink(c Cell, kind string, input []byte, maxSteps int64) int {
+	cfg, err := progs.ProfileGen(c.Profile, c.Seed)
+	if err != nil {
+		return 0
+	}
+	best := cfg.Stmts
+	for s := cfg.Stmts / 2; s >= 1; s /= 2 {
+		mm, _, _ := checkOnce(c, s, input, maxSteps)
+		if mm == nil || mm.Kind != kind {
+			break
+		}
+		best = s
+	}
+	return best
+}

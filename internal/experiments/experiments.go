@@ -19,6 +19,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/progs"
 	"repro/internal/target"
+	"repro/internal/verify"
 	"repro/internal/vm"
 )
 
@@ -26,6 +27,26 @@ import (
 // allocate, peephole. It returns the allocated program and aggregate
 // allocation statistics.
 func Pipeline(prog *ir.Program, mach *target.Machine, a alloc.Allocator) (*ir.Program, alloc.Stats, error) {
+	return PipelineChecked(prog, mach, a, PipelineChecks{})
+}
+
+// PipelineChecks selects the correctness oracles PipelineChecked runs
+// around the paper's pass ordering. The zero value runs none (the
+// benchmark configuration, where oracle cost would pollute timings).
+type PipelineChecks struct {
+	// Verify runs the symbolic allocation verifier on each procedure
+	// right after allocation.
+	Verify bool
+	// Validate runs ir.ValidateAllocated on each procedure after the
+	// peephole pass.
+	Validate bool
+}
+
+// PipelineChecked is Pipeline with optional per-procedure oracles. It
+// is THE pass ordering of the reproduction — the conformance harness
+// certifies exactly the pipeline the benchmarks measure by sharing this
+// function.
+func PipelineChecked(prog *ir.Program, mach *target.Machine, a alloc.Allocator, checks PipelineChecks) (*ir.Program, alloc.Stats, error) {
 	out := ir.NewProgram(prog.MemWords)
 	out.Main = prog.Main
 	for addr, v := range prog.MemInit {
@@ -39,7 +60,17 @@ func Pipeline(prog *ir.Program, mach *target.Machine, a alloc.Allocator) (*ir.Pr
 		if err != nil {
 			return nil, agg, fmt.Errorf("%s: %s: %w", a.Name(), p.Name, err)
 		}
+		if checks.Verify {
+			if err := verify.Verify(res.Proc, mach); err != nil {
+				return nil, agg, fmt.Errorf("%s: %s: verifier: %w", a.Name(), p.Name, err)
+			}
+		}
 		opt.Peephole(res.Proc)
+		if checks.Validate {
+			if err := ir.ValidateAllocated(res.Proc, mach); err != nil {
+				return nil, agg, fmt.Errorf("%s: %s: invalid output: %w", a.Name(), p.Name, err)
+			}
+		}
 		agg.Add(res.Stats)
 		out.AddProc(res.Proc)
 	}
@@ -346,6 +377,86 @@ func Ablations(mach *target.Machine, names []string, scaleMul float64) ([]Ablati
 		}
 	}
 	return rows, nil
+}
+
+// SweepPoint is one (machine, allocator) measurement of the
+// registers-vs-quality curve: how much dynamic overhead an allocator
+// pays for a benchmark as the register file shrinks or skews.
+type SweepPoint struct {
+	// Machine is the machine spec as passed to RegisterSweep ("x86-8",
+	// "tiny:4,3"), so every row is reproducible by feeding it back into
+	// target.Parse / lsra-conform -machines.
+	Machine   string  `json:"machine"`
+	IntRegs   int     `json:"int_regs"`   // allocatable integer registers
+	FloatRegs int     `json:"float_regs"` // allocatable float registers
+	Allocator string  `json:"allocator"`
+	Instrs    int64   `json:"instrs"`
+	Cycles    int64   `json:"cycles"`
+	Spill     int64   `json:"spill"`
+	SpillPct  float64 `json:"spill_pct"`
+	// RatioToWidest is Instrs normalized to the same allocator's count
+	// on the first (widest) machine of the sweep — the y-axis of the
+	// curve.
+	RatioToWidest float64 `json:"ratio_to_widest"`
+}
+
+// RegisterSweep reproduces the paper's registers-vs-quality relationship
+// across machine shapes: it runs one benchmark at a scale multiplier on
+// every named machine (target presets or "tiny:<ints>,<floats>") under
+// every named allocator and reports dynamic instruction counts and spill
+// percentages, normalized per allocator to the first machine listed.
+// Order machines widest-first so RatioToWidest reads as degradation.
+func RegisterSweep(machines, allocators []string, benchName string, scaleMul float64) ([]SweepPoint, error) {
+	b := progs.Named(benchName)
+	if b == nil {
+		return nil, fmt.Errorf("experiments: no benchmark %q", benchName)
+	}
+	var points []SweepPoint
+	base := make(map[string]int64, len(allocators))
+	for _, mname := range machines {
+		mach, err := machineByName(mname)
+		if err != nil {
+			return nil, err
+		}
+		for _, aname := range allocators {
+			a, err := Resolve(aname, mach)
+			if err != nil {
+				return nil, err
+			}
+			scale := scaled(b.DefaultScale, scaleMul)
+			c, _, err := RunBench(b, mach, scale, a)
+			if err != nil {
+				return nil, fmt.Errorf("sweep %s on %s: %w", aname, mach.Name, err)
+			}
+			if _, ok := base[aname]; !ok {
+				base[aname] = c.Total
+			}
+			points = append(points, SweepPoint{
+				Machine:       mname,
+				IntRegs:       len(mach.AllocOrder(target.ClassInt)),
+				FloatRegs:     len(mach.AllocOrder(target.ClassFloat)),
+				Allocator:     aname,
+				Instrs:        c.Total,
+				Cycles:        c.Cycles,
+				Spill:         c.SpillOverhead(),
+				SpillPct:      pct(c.SpillOverhead(), c.Total),
+				RatioToWidest: ratio(c.Total, base[aname]),
+			})
+		}
+	}
+	return points, nil
+}
+
+// SweepMachines is the default machine axis of RegisterSweep: the
+// presets plus a descending tiny ladder, widest first.
+func SweepMachines() []string {
+	return []string{"wide-64", "alpha", "risc-16", "int-heavy", "x86-8", "tiny:8,6", "tiny:6,4", "tiny:4,3"}
+}
+
+// machineByName resolves a sweep machine name: a preset or the
+// parameterized tiny form.
+func machineByName(name string) (*target.Machine, error) {
+	return target.Parse(name)
 }
 
 func scaled(def int, mul float64) int {

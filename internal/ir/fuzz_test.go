@@ -1,0 +1,162 @@
+package ir
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/target"
+)
+
+// fuzzSeedPrograms are textual-IR seeds covering the grammar: every
+// operand kind, calls with and without results, diamonds, loops, spill
+// code, and multiple procedures. The checked-in corpus under
+// testdata/fuzz/FuzzParseProgram extends them with crash regressions.
+var fuzzSeedPrograms = []string{
+	"program mem=8 main=main\n\nfunc main() {\nentry:\n    x = ldi 5\n    ret\n}\n",
+	`program mem=16 main=main
+
+func helper(a int, b int) {
+entry:
+    r = xor a, b
+    t = shl a, 3
+    r = add r, t
+    $r0 = mov r
+    ret
+}
+
+func main() {
+entry:
+    x = ldi 7
+    f = fldi 2.5
+    g = fmul f, 0.125
+    c = cmplt x, 64
+    br c, then, else
+then:
+    $r1 = mov x
+    $r2 = mov x
+    $r0 = call @helper($r1, $r2)
+    y = mov $r0
+    jmp join
+else:
+    y = ldi -3
+    jmp join
+join:
+    i = ldi 0
+    jmp head
+head:
+    lim = cmplt i, 3
+    br lim, body, exit
+body:
+    st y, 0, 4
+    y = ld 0, 4
+    i = add i, 1
+    jmp head
+exit:
+    z = cvtfi g
+    y = add y, z
+    $r0 = mov y
+    ret
+}
+`,
+	// Allocated-form round trip: registers, slots, spill code, tags.
+	`program mem=4 main=main
+
+func main() {
+entry:
+    $r1 = ldi 9
+    spill.st $r1, [slot0:x]
+    $r2 = spill.ld [slot0:x]
+    $r0 = mov $r2
+    ret
+}
+`,
+}
+
+// FuzzParseProgram feeds arbitrary bytes through the textual-IR parser.
+// The parser must never panic; and for every input that parses into a
+// structurally valid program, print → reparse → print must be a fixed
+// point (the canonical form is stable).
+func FuzzParseProgram(f *testing.F) {
+	for _, s := range fuzzSeedPrograms {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mach := target.Tiny(8, 4)
+		prog, err := ParseProgram(bytes.NewReader(data), mach)
+		if err != nil {
+			return // rejected inputs only need to not crash
+		}
+		// Printing requires structural validity (a bare "jmp" line has no
+		// successor to name); the parser accepts some invalid programs by
+		// design — it is not the validator — so gate the round trip.
+		if err := ValidateProgram(prog, mach); err != nil {
+			return
+		}
+		pr := &Printer{Mach: mach}
+		var s1 strings.Builder
+		pr.WriteProgram(&s1, prog)
+		prog2, err := ParseProgramString(s1.String(), mach)
+		if err != nil {
+			t.Fatalf("printed program does not reparse: %v\n%s", err, s1.String())
+		}
+		var s2 strings.Builder
+		pr.WriteProgram(&s2, prog2)
+		if s1.String() != s2.String() {
+			t.Fatalf("print → reparse → print is not a fixed point:\n-- first --\n%s\n-- second --\n%s",
+				s1.String(), s2.String())
+		}
+	})
+}
+
+// TestFuzzSeedsRoundTrip runs the seed corpus through the same oracle in
+// a plain test, so `go test` exercises it without -fuzz.
+func TestFuzzSeedsRoundTrip(t *testing.T) {
+	mach := target.Tiny(8, 4)
+	for i, s := range fuzzSeedPrograms {
+		prog, err := ParseProgramString(s, mach)
+		if err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		if err := ValidateProgram(prog, mach); err != nil {
+			t.Fatalf("seed %d invalid: %v", i, err)
+		}
+		pr := &Printer{Mach: mach}
+		var s1 strings.Builder
+		pr.WriteProgram(&s1, prog)
+		prog2, err := ParseProgramString(s1.String(), mach)
+		if err != nil {
+			t.Fatalf("seed %d reparse: %v", i, err)
+		}
+		var s2 strings.Builder
+		pr.WriteProgram(&s2, prog2)
+		if s1.String() != s2.String() {
+			t.Fatalf("seed %d not a fixed point", i)
+		}
+	}
+}
+
+// TestParserRejectsMalformedControlFlow pins the crash fixes the fuzzer
+// surfaced: these inputs used to build unprintable IR or panic.
+func TestParserRejectsMalformedControlFlow(t *testing.T) {
+	mach := target.Tiny(8, 4)
+	head := "program mem=4 main=main\nfunc main() {\nentry:\n"
+	for _, body := range []string{
+		"    jmp\n    ret\n}",  // bare jmp: no successor to print
+		"    br\n    ret\n}",   // bare br
+		"    call\n    ret\n}", // bare call: FormatInstr indexes Uses[0]
+		"    ret 5\n}",         // ret takes no operands
+		"    x = call\n    ret\n}",
+	} {
+		if _, err := ParseProgramString(head+body, mach); err == nil {
+			t.Errorf("accepted malformed input:\n%s", body)
+		}
+	}
+	// Duplicate procedure names used to panic in Program.AddProc.
+	dup := "program mem=4 main=main\nfunc main() {\nentry:\n    ret\n}\nfunc main() {\nentry:\n    ret\n}\n"
+	if _, err := ParseProgramString(dup, mach); err == nil {
+		t.Error("duplicate procedure accepted")
+	} else if !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate error = %v", err)
+	}
+}

@@ -113,6 +113,9 @@ func (p *parser) program() (*Program, error) {
 		if err != nil {
 			return nil, err
 		}
+		if prog.Proc(proc.Name) != nil {
+			return nil, fmt.Errorf("duplicate procedure %q", proc.Name)
+		}
 		prog.AddProc(proc)
 	}
 	if prog.Proc(prog.Main) == nil {
@@ -301,6 +304,12 @@ func (p *parser) instr(st *procState, line string) (Instr, error) {
 	op, ok := opByName[fields[0]]
 	if !ok {
 		return Instr{}, fmt.Errorf("unknown opcode %q", fields[0])
+	}
+	// Control flow and calls have dedicated forms above; reaching them
+	// here means a malformed line ("jmp" with no label, "call" with no
+	// argument list, "ret x") that would build unprintable IR.
+	if op == Call || op.IsTerminator() {
+		return Instr{}, fmt.Errorf("malformed %s instruction", fields[0])
 	}
 	info := &opTable[op]
 	in := Instr{Op: op}

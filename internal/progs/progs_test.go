@@ -101,6 +101,130 @@ func TestRandomProgramsValidAndDeterministic(t *testing.T) {
 	}
 }
 
+func TestProfilesValidAndDistinct(t *testing.T) {
+	names := Profiles()
+	if len(names) < 7 {
+		t.Fatalf("Profiles() = %v, want the 6 named shapes plus default", names)
+	}
+	mach := target.Alpha()
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			cfg, err := ProfileGen(name, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg.Profile != name {
+				t.Errorf("Profile = %q, want %q", cfg.Profile, name)
+			}
+			prog := Random(mach, cfg)
+			if err := ir.ValidateProgram(prog, mach); err != nil {
+				t.Fatalf("invalid: %v", err)
+			}
+			if _, err := vm.Run(prog, vm.Config{Mach: mach, Input: []byte("profile")}); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+		})
+	}
+	if _, err := ProfileGen("nosuch", 1); err == nil {
+		t.Error("ProfileGen accepted a bogus profile")
+	}
+}
+
+// TestProfileShapes asserts that each profile actually skews the program
+// in its advertised direction, so the grid covers distinct shapes rather
+// than six names for the same distribution.
+func TestProfileShapes(t *testing.T) {
+	mach := target.Alpha()
+	count := func(name string, pred func(*ir.Instr) bool) int {
+		cfg, err := ProfileGen(name, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := Random(mach, cfg)
+		n := 0
+		for _, p := range prog.Procs {
+			if p.Name != "main" {
+				continue
+			}
+			for _, b := range p.Blocks {
+				for i := range b.Instrs {
+					if pred(&b.Instrs[i]) {
+						n++
+					}
+				}
+			}
+		}
+		return n
+	}
+	isCall := func(in *ir.Instr) bool { return in.Op == ir.Call }
+	isBlockStart := func(in *ir.Instr) bool { return in.Op == ir.Br }
+	isFloat := func(in *ir.Instr) bool {
+		switch in.Op {
+		case ir.FAdd, ir.FSub, ir.FMul, ir.FDiv, ir.FNeg, ir.FLdi, ir.FMov:
+			return true
+		}
+		return false
+	}
+	if got, def := count("call-heavy", isCall), count("default", isCall); got <= def {
+		t.Errorf("call-heavy has %d calls, default %d", got, def)
+	}
+	if got, def := count("float-heavy", isFloat), count("default", isFloat); got <= def {
+		t.Errorf("float-heavy has %d float ops, default %d", got, def)
+	}
+	if got, def := count("diamond-dense", isBlockStart), count("straightline", isBlockStart); got <= def {
+		t.Errorf("diamond-dense has %d branches, straightline %d", got, def)
+	}
+	if got := count("straightline", isBlockStart); got != 0 {
+		t.Errorf("straightline has %d branches, want 0", got)
+	}
+	// high-pressure must carry more simultaneous candidates than default.
+	cfgHP, _ := ProfileGen("high-pressure", 3)
+	cfgDef, _ := ProfileGen("default", 3)
+	hp := Random(mach, cfgHP).Proc("main").NumTemps()
+	def := Random(mach, cfgDef).Proc("main").NumTemps()
+	if hp <= def {
+		t.Errorf("high-pressure has %d temps, default %d", hp, def)
+	}
+}
+
+// TestDefaultGenUnchangedByProfileKnobs pins the zero-weight compat rule:
+// the zero-valued knobs of DefaultGen must keep producing the exact
+// historical program for a seed (benchmarks and committed baselines
+// depend on the shapes).
+func TestDefaultGenUnchangedByProfileKnobs(t *testing.T) {
+	mach := target.Tiny(8, 4)
+	a := Random(mach, DefaultGen(42))
+	explicit := DefaultGen(42)
+	explicit.IfPct, explicit.LoopPct = 12, 10
+	explicit.IntALUPct, explicit.FloatPct, explicit.CrossPct, explicit.MemPct, explicit.CallPct = 45, 15, 6, 10, 12
+	b := Random(mach, explicit)
+	var pa, pb bytes.Buffer
+	(&ir.Printer{Mach: mach}).WriteProgram(&pa, a)
+	(&ir.Printer{Mach: mach}).WriteProgram(&pb, b)
+	if pa.String() != pb.String() {
+		t.Fatal("explicit historical weights diverge from zero-valued defaults")
+	}
+}
+
+// TestOversubscribedWeightsPanic pins the weight-validation contract:
+// weights past 100% would silently starve later statement bands.
+func TestOversubscribedWeightsPanic(t *testing.T) {
+	mach := target.Tiny(6, 4)
+	for name, cfg := range map[string]GenConfig{
+		"statements":   {Seed: 1, IntTemps: 4, Stmts: 5, IntALUPct: 60, FloatPct: 50},
+		"control-flow": {Seed: 1, IntTemps: 4, Stmts: 5, MaxDepth: 2, IfPct: 70, LoopPct: 40},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: oversubscribed weights did not panic", name)
+				}
+			}()
+			Random(mach, cfg)
+		}()
+	}
+}
+
 func TestTable3ModulesShape(t *testing.T) {
 	mach := target.Alpha()
 	mods := Table3Modules(mach)

@@ -7,12 +7,18 @@ package progs
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/ir"
 	"repro/internal/target"
 )
 
-// GenConfig parameterizes Random.
+// GenConfig parameterizes Random. The *Pct fields are statement-mix
+// weights in percent; zero selects the historical defaults (noted per
+// field), so the zero-extended DefaultGen keeps producing bit-identical
+// programs for a given seed. The five statement weights must sum to at
+// most 100 (the remainder emits fresh constants), as must If+Loop;
+// Random panics on an oversubscribed mix.
 type GenConfig struct {
 	Seed       int64
 	IntTemps   int  // integer accumulator pool (≥ 2)
@@ -22,6 +28,23 @@ type GenConfig struct {
 	Calls      bool // emit intrinsic calls
 	Memory     bool // emit loads/stores to a scratch array
 	Helper     bool // route some work through a two-argument helper proc
+
+	// Profile names the generator profile this config came from (set by
+	// ProfileGen; informational).
+	Profile string
+
+	// Control-flow mix, per block-level statement slot (requires
+	// MaxDepth > 0 to take effect).
+	IfPct   int // diamond probability (default 12)
+	LoopPct int // bounded-loop probability (default 10)
+
+	// Straight-line statement mix. Whatever the five weights leave of
+	// 100% emits fresh constants (live-range turnover).
+	IntALUPct int // integer ALU ops (default 45)
+	FloatPct  int // float ALU ops (default 15; needs FloatTemps > 0)
+	CrossPct  int // int↔float conversion traffic (default 6; needs FloatTemps > 0)
+	MemPct    int // loads/stores (default 10; needs Memory)
+	CallPct   int // intrinsic/helper calls (default 12; needs Calls)
 }
 
 // DefaultGen returns a medium-sized configuration.
@@ -30,6 +53,83 @@ func DefaultGen(seed int64) GenConfig {
 		Seed: seed, IntTemps: 12, FloatTemps: 6, Stmts: 60,
 		MaxDepth: 3, Calls: true, Memory: true, Helper: true,
 	}
+}
+
+// profiles are the named workload shapes of the conformance grid. Each
+// stresses a different allocator behavior: call-heavy forces values live
+// across clobbering calls, loop-nest exercises depth-weighted spill
+// heuristics and resolution on back edges, diamond-dense exercises
+// split-point resolution, float-heavy skews pressure into the float
+// file, high-pressure overflows any register file, and straightline is
+// the fpppp-like basic-block giant with no control flow at all.
+var profiles = map[string]func(seed int64) GenConfig{
+	"default": DefaultGen,
+	"call-heavy": func(seed int64) GenConfig {
+		c := DefaultGen(seed)
+		c.IntALUPct, c.CallPct, c.MemPct = 25, 45, 6
+		c.IfPct, c.LoopPct = 10, 8
+		return c
+	},
+	"loop-nest": func(seed int64) GenConfig {
+		c := DefaultGen(seed)
+		c.MaxDepth, c.Stmts = 4, 50
+		c.IfPct, c.LoopPct = 6, 30
+		return c
+	},
+	"diamond-dense": func(seed int64) GenConfig {
+		c := DefaultGen(seed)
+		c.MaxDepth, c.Stmts = 4, 70
+		c.IfPct, c.LoopPct = 35, 4
+		return c
+	},
+	"float-heavy": func(seed int64) GenConfig {
+		c := DefaultGen(seed)
+		c.IntTemps, c.FloatTemps = 6, 16
+		c.IntALUPct, c.FloatPct, c.CrossPct = 20, 45, 12
+		return c
+	},
+	"high-pressure": func(seed int64) GenConfig {
+		c := DefaultGen(seed)
+		c.IntTemps, c.FloatTemps, c.Stmts = 28, 14, 90
+		c.MaxDepth = 2
+		return c
+	},
+	"straightline": func(seed int64) GenConfig {
+		c := DefaultGen(seed)
+		c.IntTemps, c.FloatTemps, c.Stmts = 16, 8, 80
+		c.MaxDepth = 0
+		c.Calls = false
+		return c
+	},
+}
+
+// Profiles returns the named generator profile names, sorted.
+func Profiles() []string {
+	names := make([]string, 0, len(profiles))
+	for n := range profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ProfileGen returns the GenConfig of a named profile for a seed.
+func ProfileGen(name string, seed int64) (GenConfig, error) {
+	mk, ok := profiles[name]
+	if !ok {
+		return GenConfig{}, fmt.Errorf("progs: unknown generator profile %q (have %v)", name, Profiles())
+	}
+	c := mk(seed)
+	c.Profile = name
+	return c, nil
+}
+
+// pctOr returns v, or def when v is zero (the historical weight).
+func pctOr(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
 }
 
 // Random builds a deterministic random program: structured control flow
@@ -47,6 +147,7 @@ func Random(mach *target.Machine, cfg GenConfig) *ir.Program {
 
 	pb := b.NewProc("main")
 	g := &gen{rng: rng, cfg: cfg, b: b, pb: pb}
+	g.initWeights()
 	for i := 0; i < cfg.IntTemps; i++ {
 		t := pb.IntTemp(fmt.Sprintf("x%d", i))
 		pb.Ldi(t, int64(rng.Intn(200)-100))
@@ -99,9 +200,34 @@ type gen struct {
 	b   *ir.Builder
 	pb  *ir.ProcBuilder
 
+	// Cumulative statement-mix and control-flow thresholds over a
+	// 100-sided roll, derived from the cfg weights by initWeights.
+	intTo, floatTo, crossTo, memTo, callTo int
+	ifTo, loopTo                           int
+
 	ints   []ir.Temp
 	floats []ir.Temp
 	loopID int
+}
+
+// initWeights resolves the cfg's weight knobs (zero = historical
+// default) into cumulative roll thresholds, panicking when a mix is
+// oversubscribed: past 100%, later statement bands would silently
+// become unreachable rather than rare.
+func (g *gen) initWeights() {
+	g.intTo = pctOr(g.cfg.IntALUPct, 45)
+	g.floatTo = g.intTo + pctOr(g.cfg.FloatPct, 15)
+	g.crossTo = g.floatTo + pctOr(g.cfg.CrossPct, 6)
+	g.memTo = g.crossTo + pctOr(g.cfg.MemPct, 10)
+	g.callTo = g.memTo + pctOr(g.cfg.CallPct, 12)
+	if g.callTo > 100 {
+		panic(fmt.Sprintf("progs: statement weights sum to %d%% > 100%% (IntALU+Float+Cross+Mem+Call)", g.callTo))
+	}
+	g.ifTo = pctOr(g.cfg.IfPct, 12)
+	g.loopTo = g.ifTo + pctOr(g.cfg.LoopPct, 10)
+	if g.loopTo > 100 {
+		panic(fmt.Sprintf("progs: control-flow weights sum to %d%% > 100%% (If+Loop)", g.loopTo))
+	}
 }
 
 func (g *gen) randInt() ir.Temp   { return g.ints[g.rng.Intn(len(g.ints))] }
@@ -122,10 +248,10 @@ func (g *gen) block(budget, depth int) {
 	for budget > 0 {
 		roll := g.rng.Intn(100)
 		switch {
-		case depth > 0 && roll < 12:
+		case depth > 0 && roll < g.ifTo:
 			used := g.ifElse(budget/2, depth-1)
 			budget -= used + 1
-		case depth > 0 && roll < 22:
+		case depth > 0 && roll < g.loopTo:
 			used := g.loop(budget/2, depth-1)
 			budget -= used + 2
 		default:
@@ -140,7 +266,7 @@ func (g *gen) stmt() {
 	pb := g.pb
 	roll := g.rng.Intn(100)
 	switch {
-	case roll < 45: // integer ALU
+	case roll < g.intTo: // integer ALU
 		ops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor, ir.Shl, ir.Shr,
 			ir.Div, ir.Rem, ir.CmpLT, ir.CmpEQ, ir.CmpGE}
 		op := ops[g.rng.Intn(len(ops))]
@@ -149,11 +275,11 @@ func (g *gen) stmt() {
 			src = ir.ImmOp(int64(g.rng.Intn(8)))
 		}
 		pb.Op2(op, g.randInt(), ir.TempOp(g.randInt()), src)
-	case roll < 60 && len(g.floats) > 0: // float ALU
+	case roll < g.floatTo && len(g.floats) > 0: // float ALU
 		ops := []ir.Op{ir.FAdd, ir.FSub, ir.FMul}
 		op := ops[g.rng.Intn(len(ops))]
 		pb.Op2(op, g.randFloat(), ir.TempOp(g.randFloat()), ir.TempOp(g.randFloat()))
-	case roll < 66 && len(g.floats) > 0: // cross-file traffic
+	case roll < g.crossTo && len(g.floats) > 0: // cross-file traffic
 		if g.rng.Intn(2) == 0 {
 			pb.Op1(ir.CvtIF, g.randFloat(), ir.TempOp(g.randInt()))
 		} else {
@@ -162,14 +288,14 @@ func (g *gen) stmt() {
 			pb.Op2(ir.FMul, cl, ir.TempOp(f), ir.FImmOp(0.0001))
 			pb.Op1(ir.CvtFI, g.randInt(), ir.TempOp(cl))
 		}
-	case roll < 76 && g.cfg.Memory: // memory traffic in a private window
+	case roll < g.memTo && g.cfg.Memory: // memory traffic in a private window
 		addr := int64(g.rng.Intn(64))
 		if g.rng.Intn(2) == 0 {
 			pb.St(ir.TempOp(g.randInt()), ir.ImmOp(0), addr)
 		} else {
 			pb.Ld(g.randInt(), ir.ImmOp(0), addr)
 		}
-	case roll < 88 && g.cfg.Calls:
+	case roll < g.callTo && g.cfg.Calls:
 		switch g.rng.Intn(3) {
 		case 0:
 			pb.Call("getc", g.randInt())

@@ -10,7 +10,11 @@
 // them.
 package target
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // Class is a register file: every temporary and every register belongs
 // to exactly one class, and allocation never crosses classes.
@@ -299,6 +303,113 @@ func Tiny(nInt, nFloat int) *Machine {
 		panic(err)
 	}
 	return m
+}
+
+// presets are the named machine shapes beyond Alpha and Tiny that the
+// conformance grid sweeps: small CISC-like, mid RISC-like, very wide,
+// and a file-skewed integer-heavy shape. Each convention provides at
+// least two integer and one float parameter register (what the random
+// program generator's helper and intrinsic calls need) so every preset
+// can run every workload profile.
+var presets = map[string]func() *Machine{
+	"alpha": Alpha,
+	// x86-8: the classic 8/8 two-file squeeze. Like 32-bit x86, most of
+	// the integer file is caller-saved scratch with a thin callee-saved
+	// band, so call-heavy code is forced to spill or save.
+	"x86-8": func() *Machine {
+		return MustNew(Config{
+			Name:   "x86-8",
+			NumInt: 8, NumFloat: 8,
+			CallerSavedInt:   []int{0, 1, 2, 3},
+			CallerSavedFloat: []int{0, 1, 2, 3, 4, 5, 6, 7},
+			IntParams:        []int{1, 2},
+			FloatParams:      []int{1, 2},
+			IntRet:           0, FloatRet: 0,
+		})
+	},
+	// risc-16: a mid-size RISC split half caller-/half callee-saved, in
+	// the MIPS/RISC-V tradition of s- and t-register bands.
+	"risc-16": func() *Machine {
+		return MustNew(Config{
+			Name:   "risc-16",
+			NumInt: 16, NumFloat: 16,
+			CallerSavedInt:   []int{0, 1, 2, 3, 4, 5, 6, 7},
+			CallerSavedFloat: []int{0, 1, 2, 3, 4, 5, 6, 7},
+			IntParams:        []int{1, 2, 3, 4},
+			FloatParams:      []int{1, 2},
+			IntRet:           0, FloatRet: 0,
+		})
+	},
+	// wide-64: a register-rich machine where spilling should be nearly
+	// impossible; allocators that spill here are losing to bookkeeping,
+	// not pressure.
+	"wide-64": func() *Machine {
+		cs := make([]int, 48)
+		for i := range cs {
+			cs[i] = i
+		}
+		return MustNew(Config{
+			Name:   "wide-64",
+			NumInt: 64, NumFloat: 64,
+			CallerSavedInt:   cs,
+			CallerSavedFloat: cs,
+			IntParams:        []int{1, 2, 3, 4, 5, 6, 7, 8},
+			FloatParams:      []int{1, 2, 3, 4},
+			IntRet:           0, FloatRet: 0,
+		})
+	},
+	// int-heavy: a skewed shape — a comfortable integer file next to a
+	// starved four-register float file (the minimum that leaves a
+	// three-operand float op room to reload both spilled sources beside
+	// the convention registers), so float-heavy workloads spill hard in
+	// one class while the other idles.
+	"int-heavy": func() *Machine {
+		return MustNew(Config{
+			Name:   "int-heavy",
+			NumInt: 24, NumFloat: 4,
+			CallerSavedInt:   []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+			CallerSavedFloat: []int{0, 1, 2},
+			IntParams:        []int{1, 2, 3, 4},
+			FloatParams:      []int{1},
+			IntRet:           0, FloatRet: 0,
+		})
+	},
+	"tiny": func() *Machine { return Tiny(6, 4) },
+}
+
+// Preset returns the named machine preset. The names cover the paper's
+// Alpha plus the conformance grid's diverse shapes: "alpha", "x86-8",
+// "risc-16", "wide-64", "int-heavy", and "tiny" (the tiny(6,4) spill
+// forcer).
+func Preset(name string) (*Machine, error) {
+	mk, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("target: unknown machine preset %q (have %v)", name, PresetNames())
+	}
+	return mk(), nil
+}
+
+// Parse resolves the machine-spec syntax every tool and harness shares:
+// a preset name or the parameterized "tiny:<ints>,<floats>" form.
+func Parse(name string) (*Machine, error) {
+	if rest, ok := strings.CutPrefix(name, "tiny:"); ok {
+		var ni, nf int
+		if n, err := fmt.Sscanf(rest, "%d,%d", &ni, &nf); n != 2 || err != nil {
+			return nil, fmt.Errorf("target: bad machine %q (want tiny:<ints>,<floats>)", name)
+		}
+		return NewTiny(ni, nf)
+	}
+	return Preset(name)
+}
+
+// PresetNames returns every preset name, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // NewTiny is Tiny with the size constraint reported as an error instead

@@ -147,6 +147,55 @@ func TestTinyTooSmallPanics(t *testing.T) {
 	}
 }
 
+func TestPresets(t *testing.T) {
+	names := PresetNames()
+	want := []string{"alpha", "int-heavy", "risc-16", "tiny", "wide-64", "x86-8"}
+	if len(names) != len(want) {
+		t.Fatalf("PresetNames() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("PresetNames() = %v, want %v", names, want)
+		}
+	}
+	shapes := map[string]struct{ ni, nf int }{
+		"alpha":     {32, 32},
+		"x86-8":     {8, 8},
+		"risc-16":   {16, 16},
+		"wide-64":   {64, 64},
+		"int-heavy": {24, 4},
+		"tiny":      {6, 4},
+	}
+	for _, name := range names {
+		m, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if m.Name != name && name != "tiny" { // tiny names itself "tiny(6,4)"
+			t.Errorf("Preset(%q).Name = %q", name, m.Name)
+		}
+		checkConventions(t, m)
+		sh := shapes[name]
+		if got := len(m.byClass[ClassInt]); got != sh.ni {
+			t.Errorf("%s: %d int regs, want %d", name, got, sh.ni)
+		}
+		if got := len(m.byClass[ClassFloat]); got != sh.nf {
+			t.Errorf("%s: %d float regs, want %d", name, got, sh.nf)
+		}
+		// Every preset must support the workload generator's calls: two
+		// integer arguments (the helper) and one float argument (fsqrt).
+		if len(m.ParamRegs(ClassInt)) < 2 {
+			t.Errorf("%s: %d int param regs, want ≥ 2", name, len(m.ParamRegs(ClassInt)))
+		}
+		if len(m.ParamRegs(ClassFloat)) < 1 {
+			t.Errorf("%s: no float param reg", name)
+		}
+	}
+	if _, err := Preset("no-such-machine"); err == nil {
+		t.Error("Preset accepted an unknown name")
+	}
+}
+
 func TestNewValidation(t *testing.T) {
 	base := Config{
 		Name: "ok", NumInt: 3, NumFloat: 2,

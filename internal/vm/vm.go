@@ -72,6 +72,12 @@ type Result struct {
 	Output   []byte
 	RetValue int64
 	Counters Counters
+	// Mem is the final global-memory image. Together with Output and
+	// RetValue it is the observable behavior the conformance harness
+	// diffs between unallocated and allocated executions.
+	Mem []uint64
+	// Steps is the number of instructions executed before returning.
+	Steps int64
 }
 
 // costOf is the fixed cycle model: memory 3, multiply 4, divide 20,
@@ -147,6 +153,8 @@ func Run(prog *ir.Program, cfg Config) (*Result, error) {
 		Output:   m.out,
 		RetValue: int64(m.regs[cfg.Mach.RetReg(target.ClassInt)]),
 		Counters: m.ctr,
+		Mem:      m.mem,
+		Steps:    m.steps,
 	}, nil
 }
 

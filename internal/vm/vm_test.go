@@ -1,7 +1,9 @@
 package vm
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/ir"
@@ -233,6 +235,429 @@ func TestCountersByTag(t *testing.T) {
 	}
 	if res.RetValue != 5 {
 		t.Fatalf("ret = %d", res.RetValue)
+	}
+}
+
+// opCase is one row of the exhaustive opcode table: build emits the
+// instruction under test, check inspects the result.
+type opCase struct {
+	name  string
+	ops   []ir.Op // opcodes this case covers
+	build func(pb *ir.ProcBuilder)
+	check func(t *testing.T, res *Result)
+}
+
+func retWant(want int64) func(*testing.T, *Result) {
+	return func(t *testing.T, res *Result) {
+		t.Helper()
+		if res.RetValue != want {
+			t.Fatalf("ret = %d, want %d", res.RetValue, want)
+		}
+	}
+}
+
+// intBin builds "ret (a op b)".
+func intBin(op ir.Op, a, b int64) func(pb *ir.ProcBuilder) {
+	return func(pb *ir.ProcBuilder) {
+		x := pb.IntTemp("x")
+		y := pb.IntTemp("y")
+		d := pb.IntTemp("d")
+		pb.Ldi(x, a)
+		pb.Ldi(y, b)
+		pb.Op2(op, d, ir.TempOp(x), ir.TempOp(y))
+		pb.Ret(d)
+	}
+}
+
+// fltBin builds "ret cvtfi(scale * (a op b))" so float results are
+// observable through the integer return register without rounding
+// surprises (choose operands making the result integral).
+func fltBin(op ir.Op, a, b float64) func(pb *ir.ProcBuilder) {
+	return func(pb *ir.ProcBuilder) {
+		x := pb.FloatTemp("x")
+		y := pb.FloatTemp("y")
+		d := pb.FloatTemp("d")
+		r := pb.IntTemp("r")
+		pb.FLdi(x, a)
+		pb.FLdi(y, b)
+		pb.Op2(op, d, ir.TempOp(x), ir.TempOp(y))
+		pb.Op1(ir.CvtFI, r, ir.TempOp(d))
+		pb.Ret(r)
+	}
+}
+
+// fltCmp builds "ret (a op b)" for the int-valued float compares.
+func fltCmp(op ir.Op, a, b float64) func(pb *ir.ProcBuilder) {
+	return func(pb *ir.ProcBuilder) {
+		x := pb.FloatTemp("x")
+		y := pb.FloatTemp("y")
+		r := pb.IntTemp("r")
+		pb.FLdi(x, a)
+		pb.FLdi(y, b)
+		pb.Op2(op, r, ir.TempOp(x), ir.TempOp(y))
+		pb.Ret(r)
+	}
+}
+
+// TestOpcodeTable executes at least one case per opcode and then checks
+// the table actually covers the complete instruction set, so a new
+// opcode cannot land without an interpreter test.
+func TestOpcodeTable(t *testing.T) {
+	cases := []opCase{
+		{name: "nop", ops: []ir.Op{ir.Nop, ir.Ldi, ir.Ret},
+			build: func(pb *ir.ProcBuilder) {
+				pb.Emit(ir.Instr{Op: ir.Nop})
+				x := pb.IntTemp("x")
+				pb.Ldi(x, 11)
+				pb.Ret(x)
+			}, check: retWant(11)},
+		{name: "mov", ops: []ir.Op{ir.Mov},
+			build: func(pb *ir.ProcBuilder) {
+				x := pb.IntTemp("x")
+				y := pb.IntTemp("y")
+				pb.Ldi(x, -7)
+				pb.Mov(y, ir.TempOp(x))
+				pb.Ret(y)
+			}, check: retWant(-7)},
+		{name: "add", ops: []ir.Op{ir.Add}, build: intBin(ir.Add, 40, 2), check: retWant(42)},
+		{name: "sub", ops: []ir.Op{ir.Sub}, build: intBin(ir.Sub, 7, 50), check: retWant(-43)},
+		{name: "mul", ops: []ir.Op{ir.Mul}, build: intBin(ir.Mul, -6, 7), check: retWant(-42)},
+		{name: "div", ops: []ir.Op{ir.Div}, build: intBin(ir.Div, -45, 7), check: retWant(-6)},
+		{name: "div-by-zero", ops: nil, build: intBin(ir.Div, 45, 0), check: retWant(0)},
+		{name: "div-overflow", ops: nil, build: intBin(ir.Div, math.MinInt64, -1), check: retWant(math.MinInt64)},
+		{name: "rem", ops: []ir.Op{ir.Rem}, build: intBin(ir.Rem, -45, 7), check: retWant(-3)},
+		{name: "rem-by-zero", ops: nil, build: intBin(ir.Rem, 45, 0), check: retWant(0)},
+		{name: "rem-overflow", ops: nil, build: intBin(ir.Rem, math.MinInt64, -1), check: retWant(0)},
+		{name: "and", ops: []ir.Op{ir.And}, build: intBin(ir.And, 0b1100, 0b1010), check: retWant(0b1000)},
+		{name: "or", ops: []ir.Op{ir.Or}, build: intBin(ir.Or, 0b1100, 0b1010), check: retWant(0b1110)},
+		{name: "xor", ops: []ir.Op{ir.Xor}, build: intBin(ir.Xor, 0b1100, 0b1010), check: retWant(0b0110)},
+		{name: "shl", ops: []ir.Op{ir.Shl}, build: intBin(ir.Shl, 3, 4), check: retWant(48)},
+		{name: "shl-masks-to-63", ops: nil, build: intBin(ir.Shl, 1, 65), check: retWant(2)},
+		{name: "shr", ops: []ir.Op{ir.Shr}, build: intBin(ir.Shr, 48, 4), check: retWant(3)},
+		{name: "shr-arithmetic", ops: nil, build: intBin(ir.Shr, -1, 60), check: retWant(-1)},
+		{name: "neg", ops: []ir.Op{ir.Neg},
+			build: func(pb *ir.ProcBuilder) {
+				x := pb.IntTemp("x")
+				pb.Ldi(x, 9)
+				pb.Op1(ir.Neg, x, ir.TempOp(x))
+				pb.Ret(x)
+			}, check: retWant(-9)},
+		{name: "not", ops: []ir.Op{ir.Not},
+			build: func(pb *ir.ProcBuilder) {
+				x := pb.IntTemp("x")
+				pb.Ldi(x, 0)
+				pb.Op1(ir.Not, x, ir.TempOp(x))
+				pb.Ret(x)
+			}, check: retWant(-1)},
+		{name: "cmpeq", ops: []ir.Op{ir.CmpEQ}, build: intBin(ir.CmpEQ, 5, 5), check: retWant(1)},
+		{name: "cmpne", ops: []ir.Op{ir.CmpNE}, build: intBin(ir.CmpNE, 5, 5), check: retWant(0)},
+		{name: "cmplt", ops: []ir.Op{ir.CmpLT}, build: intBin(ir.CmpLT, -9, 2), check: retWant(1)},
+		{name: "cmple", ops: []ir.Op{ir.CmpLE}, build: intBin(ir.CmpLE, 3, 2), check: retWant(0)},
+		{name: "cmpgt", ops: []ir.Op{ir.CmpGT}, build: intBin(ir.CmpGT, 3, 2), check: retWant(1)},
+		{name: "cmpge", ops: []ir.Op{ir.CmpGE}, build: intBin(ir.CmpGE, 2, 2), check: retWant(1)},
+		{name: "fmov-fldi", ops: []ir.Op{ir.FMov, ir.FLdi, ir.CvtFI},
+			build: func(pb *ir.ProcBuilder) {
+				f := pb.FloatTemp("f")
+				g := pb.FloatTemp("g")
+				r := pb.IntTemp("r")
+				pb.FLdi(f, 6.0)
+				pb.FMov(g, ir.TempOp(f))
+				pb.Op1(ir.CvtFI, r, ir.TempOp(g))
+				pb.Ret(r)
+			}, check: retWant(6)},
+		{name: "fadd", ops: []ir.Op{ir.FAdd}, build: fltBin(ir.FAdd, 1.5, 2.5), check: retWant(4)},
+		{name: "fsub", ops: []ir.Op{ir.FSub}, build: fltBin(ir.FSub, 1.5, 2.5), check: retWant(-1)},
+		{name: "fmul", ops: []ir.Op{ir.FMul}, build: fltBin(ir.FMul, 1.5, 4), check: retWant(6)},
+		{name: "fdiv", ops: []ir.Op{ir.FDiv}, build: fltBin(ir.FDiv, 7, 2), check: retWant(3)},
+		{name: "fneg", ops: []ir.Op{ir.FNeg},
+			build: func(pb *ir.ProcBuilder) {
+				f := pb.FloatTemp("f")
+				r := pb.IntTemp("r")
+				pb.FLdi(f, 8)
+				pb.Op1(ir.FNeg, f, ir.TempOp(f))
+				pb.Op1(ir.CvtFI, r, ir.TempOp(f))
+				pb.Ret(r)
+			}, check: retWant(-8)},
+		{name: "fcmpeq", ops: []ir.Op{ir.FCmpEQ}, build: fltCmp(ir.FCmpEQ, 2.5, 2.5), check: retWant(1)},
+		{name: "fcmplt", ops: []ir.Op{ir.FCmpLT}, build: fltCmp(ir.FCmpLT, 2.5, 2.5), check: retWant(0)},
+		{name: "fcmple", ops: []ir.Op{ir.FCmpLE}, build: fltCmp(ir.FCmpLE, 2.5, 2.5), check: retWant(1)},
+		{name: "cvtif", ops: []ir.Op{ir.CvtIF},
+			build: func(pb *ir.ProcBuilder) {
+				x := pb.IntTemp("x")
+				f := pb.FloatTemp("f")
+				r := pb.IntTemp("r")
+				pb.Ldi(x, -12)
+				pb.Op1(ir.CvtIF, f, ir.TempOp(x))
+				pb.Op1(ir.CvtFI, r, ir.TempOp(f))
+				pb.Ret(r)
+			}, check: retWant(-12)},
+		{name: "cvtfi-nan", ops: nil,
+			build: func(pb *ir.ProcBuilder) {
+				f := pb.FloatTemp("f")
+				z := pb.FloatTemp("z")
+				r := pb.IntTemp("r")
+				pb.FLdi(f, 0)
+				pb.FLdi(z, 0)
+				pb.Op2(ir.FDiv, f, ir.TempOp(f), ir.TempOp(z)) // 0/0 = NaN
+				pb.Op1(ir.CvtFI, r, ir.TempOp(f))
+				pb.Ret(r)
+			}, check: retWant(0)},
+		{name: "cvtfi-saturates", ops: nil,
+			build: func(pb *ir.ProcBuilder) {
+				f := pb.FloatTemp("f")
+				r := pb.IntTemp("r")
+				pb.FLdi(f, 1e300)
+				pb.Op1(ir.CvtFI, r, ir.TempOp(f))
+				pb.Ret(r)
+			}, check: retWant(math.MaxInt64)},
+		{name: "cvtfi-saturates-neg", ops: nil,
+			build: func(pb *ir.ProcBuilder) {
+				f := pb.FloatTemp("f")
+				r := pb.IntTemp("r")
+				pb.FLdi(f, -1e300)
+				pb.Op1(ir.CvtFI, r, ir.TempOp(f))
+				pb.Ret(r)
+			}, check: retWant(math.MinInt64)},
+		{name: "ld-st", ops: []ir.Op{ir.Ld, ir.St},
+			build: func(pb *ir.ProcBuilder) {
+				x := pb.IntTemp("x")
+				y := pb.IntTemp("y")
+				pb.Ldi(x, 77)
+				pb.St(ir.TempOp(x), ir.ImmOp(4), 3) // mem[7] = 77
+				pb.Ld(y, ir.ImmOp(6), 1)            // y = mem[7]
+				pb.Ret(y)
+			}, check: func(t *testing.T, res *Result) {
+				retWant(77)(t, res)
+				if res.Mem[7] != 77 {
+					t.Fatalf("final mem[7] = %d", res.Mem[7])
+				}
+				if res.Counters.MemOps != 2 {
+					t.Fatalf("memops = %d", res.Counters.MemOps)
+				}
+			}},
+		{name: "fld-fst", ops: []ir.Op{ir.FLd, ir.FSt},
+			build: func(pb *ir.ProcBuilder) {
+				f := pb.FloatTemp("f")
+				g := pb.FloatTemp("g")
+				r := pb.IntTemp("r")
+				pb.FLdi(f, 2.5)
+				pb.FSt(ir.TempOp(f), ir.ImmOp(0), 9)
+				pb.FLd(g, ir.ImmOp(9), 0)
+				pb.Op2(ir.FAdd, g, ir.TempOp(g), ir.TempOp(g))
+				pb.Op1(ir.CvtFI, r, ir.TempOp(g))
+				pb.Ret(r)
+			}, check: func(t *testing.T, res *Result) {
+				retWant(5)(t, res)
+				if res.Mem[9] != math.Float64bits(2.5) {
+					t.Fatalf("final mem[9] = %#x", res.Mem[9])
+				}
+			}},
+		{name: "spill", ops: []ir.Op{ir.SpillLd, ir.SpillSt},
+			build: func(pb *ir.ProcBuilder) {
+				x := pb.IntTemp("x")
+				y := pb.IntTemp("y")
+				pb.Ldi(x, 33)
+				pb.P.NewSlot()
+				pb.Emit(ir.Instr{Op: ir.SpillSt, Uses: []ir.Operand{ir.TempOp(x), ir.SlotOp(0, x)}})
+				pb.Ldi(x, 0) // clobber the register home
+				pb.Emit(ir.Instr{Op: ir.SpillLd, Defs: []ir.Operand{ir.TempOp(y)}, Uses: []ir.Operand{ir.SlotOp(0, x)}})
+				pb.Ret(y)
+			}, check: retWant(33)},
+		{name: "jmp-br-taken", ops: []ir.Op{ir.Jmp, ir.Br},
+			build: func(pb *ir.ProcBuilder) {
+				c := pb.IntTemp("c")
+				r := pb.IntTemp("r")
+				pb.Ldi(c, -1) // any non-zero takes Succs[0]
+				thenB := pb.Block("then")
+				elseB := pb.Block("else")
+				join := pb.Block("join")
+				pb.Br(ir.TempOp(c), thenB, elseB)
+				pb.StartBlock(thenB)
+				pb.Ldi(r, 1)
+				pb.Jmp(join)
+				pb.StartBlock(elseB)
+				pb.Ldi(r, 2)
+				pb.Jmp(join)
+				pb.StartBlock(join)
+				pb.Ret(r)
+			}, check: retWant(1)},
+		{name: "br-not-taken", ops: nil,
+			build: func(pb *ir.ProcBuilder) {
+				c := pb.IntTemp("c")
+				r := pb.IntTemp("r")
+				pb.Ldi(c, 0)
+				thenB := pb.Block("then")
+				elseB := pb.Block("else")
+				join := pb.Block("join")
+				pb.Br(ir.TempOp(c), thenB, elseB)
+				pb.StartBlock(thenB)
+				pb.Ldi(r, 1)
+				pb.Jmp(join)
+				pb.StartBlock(elseB)
+				pb.Ldi(r, 2)
+				pb.Jmp(join)
+				pb.StartBlock(join)
+				pb.Ret(r)
+			}, check: retWant(2)},
+		{name: "call", ops: []ir.Op{ir.Call},
+			build: func(pb *ir.ProcBuilder) {
+				c := pb.IntTemp("c")
+				pb.Call("getc", c) // EOF on empty input: -1
+				pb.Ret(c)
+			}, check: retWant(-1)},
+	}
+
+	covered := make(map[ir.Op]bool)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := run(t, func(b *ir.Builder, pb *ir.ProcBuilder) { tc.build(pb) }, nil)
+			tc.check(t, res)
+			if res.Steps == 0 || res.Steps != res.Counters.Total {
+				t.Fatalf("Steps = %d, Counters.Total = %d", res.Steps, res.Counters.Total)
+			}
+		})
+		for _, op := range tc.ops {
+			covered[op] = true
+		}
+	}
+	for op := ir.Op(0); !strings.HasPrefix(op.String(), "op("); op++ {
+		if !covered[op] {
+			t.Errorf("opcode %v has no interpreter test case", op)
+		}
+	}
+}
+
+// TestTrapPaths covers every way an execution can fail, so the oracle's
+// error channel is as trustworthy as its value channel.
+func TestTrapPaths(t *testing.T) {
+	mach := target.Tiny(8, 4)
+
+	t.Run("load-out-of-bounds", func(t *testing.T) {
+		b := ir.NewBuilder(mach, 4)
+		pb := b.NewProc("main")
+		x := pb.IntTemp("x")
+		pb.Ld(x, ir.ImmOp(4), 0)
+		pb.Ret(x)
+		if _, err := Run(b.Prog, Config{Mach: mach}); err == nil {
+			t.Fatal("OOB load not rejected")
+		}
+	})
+	t.Run("load-negative", func(t *testing.T) {
+		b := ir.NewBuilder(mach, 4)
+		pb := b.NewProc("main")
+		x := pb.IntTemp("x")
+		pb.Ld(x, ir.ImmOp(-1), 0)
+		pb.Ret(x)
+		if _, err := Run(b.Prog, Config{Mach: mach}); err == nil {
+			t.Fatal("negative load not rejected")
+		}
+	})
+	t.Run("store-out-of-bounds", func(t *testing.T) {
+		b := ir.NewBuilder(mach, 4)
+		pb := b.NewProc("main")
+		x := pb.IntTemp("x")
+		pb.Ldi(x, 1)
+		pb.St(ir.TempOp(x), ir.ImmOp(2), 2)
+		pb.Ret(x)
+		if _, err := Run(b.Prog, Config{Mach: mach}); err == nil {
+			t.Fatal("OOB store not rejected")
+		}
+	})
+	t.Run("missing-main", func(t *testing.T) {
+		b := ir.NewBuilder(mach, 4)
+		pb := b.NewProc("not_main")
+		x := pb.IntTemp("x")
+		pb.Ldi(x, 1)
+		pb.Ret(x)
+		if _, err := Run(b.Prog, Config{Mach: mach}); err == nil {
+			t.Fatal("missing main not rejected")
+		}
+	})
+	t.Run("unknown-intrinsic", func(t *testing.T) {
+		b := ir.NewBuilder(mach, 4)
+		pb := b.NewProc("main")
+		x := pb.IntTemp("x")
+		pb.Call("no_such_runtime_call", x)
+		pb.Ret(x)
+		if _, err := Run(b.Prog, Config{Mach: mach}); err == nil {
+			t.Fatal("unknown intrinsic not rejected")
+		}
+	})
+	t.Run("recursion-depth", func(t *testing.T) {
+		b := ir.NewBuilder(mach, 4)
+		pb := b.NewProc("main")
+		r := pb.IntTemp("r")
+		pb.Call("main", r)
+		pb.Ret(r)
+		if _, err := Run(b.Prog, Config{Mach: mach}); err == nil {
+			t.Fatal("unbounded recursion not rejected")
+		}
+	})
+	t.Run("fuel", func(t *testing.T) {
+		b := ir.NewBuilder(mach, 4)
+		pb := b.NewProc("main")
+		x := pb.IntTemp("x")
+		pb.Ldi(x, 0)
+		loop := pb.Block("loop")
+		pb.Jmp(loop)
+		pb.StartBlock(loop)
+		pb.Op2(ir.Add, x, ir.TempOp(x), ir.ImmOp(1))
+		pb.Jmp(loop)
+		if _, err := Run(b.Prog, Config{Mach: mach, MaxSteps: 100}); !errors.Is(err, ErrFuel) {
+			t.Fatalf("err = %v, want ErrFuel", err)
+		}
+	})
+	t.Run("fell-off-block", func(t *testing.T) {
+		// Hand-built: a block with no terminator (the builder refuses to
+		// construct this, the interpreter must still trap).
+		prog := ir.NewProgram(4)
+		p := ir.NewProc("main")
+		blk := p.NewBlock("entry")
+		x := p.NewTemp(target.ClassInt, "x")
+		blk.Instrs = append(blk.Instrs, ir.Instr{Op: ir.Ldi,
+			Defs: []ir.Operand{ir.TempOp(x)}, Uses: []ir.Operand{ir.ImmOp(1)}})
+		prog.AddProc(p)
+		if _, err := Run(prog, Config{Mach: mach}); err == nil {
+			t.Fatal("falling off a block not rejected")
+		}
+	})
+	t.Run("nil-machine", func(t *testing.T) {
+		b := ir.NewBuilder(mach, 4)
+		pb := b.NewProc("main")
+		x := pb.IntTemp("x")
+		pb.Ldi(x, 1)
+		pb.Ret(x)
+		if _, err := Run(b.Prog, Config{}); err == nil {
+			t.Fatal("nil machine not rejected")
+		}
+	})
+}
+
+// TestResultMemSnapshot pins the final-memory oracle: MemInit flows in,
+// stores show up, and untouched words stay zero.
+func TestResultMemSnapshot(t *testing.T) {
+	mach := target.Tiny(8, 4)
+	b := ir.NewBuilder(mach, 8)
+	b.Prog.SetMem(2, 1234)
+	pb := b.NewProc("main")
+	x := pb.IntTemp("x")
+	pb.Ld(x, ir.ImmOp(2), 0)
+	pb.St(ir.TempOp(x), ir.ImmOp(5), 0)
+	pb.Ret(x)
+	res, err := Run(b.Prog, Config{Mach: mach})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mem) != 8 {
+		t.Fatalf("Mem has %d words", len(res.Mem))
+	}
+	if res.Mem[2] != 1234 || res.Mem[5] != 1234 {
+		t.Fatalf("Mem = %v", res.Mem)
+	}
+	for i, v := range res.Mem {
+		if i != 2 && i != 5 && v != 0 {
+			t.Fatalf("mem[%d] = %d, want 0", i, v)
+		}
 	}
 }
 

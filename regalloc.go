@@ -130,21 +130,15 @@ func Alpha() *Machine { return target.Alpha() }
 // Tiny returns a small machine (useful to force spilling).
 func Tiny(nInt, nFloat int) *Machine { return target.Tiny(nInt, nFloat) }
 
-// ParseMachine parses the machine spec the command-line tools share:
-// "alpha" or "tiny:<ints>,<floats>".
+// ParseMachine parses the machine spec the command-line tools share: a
+// named preset ("alpha", "x86-8", "risc-16", "wide-64", "int-heavy",
+// "tiny") or a parameterized "tiny:<ints>,<floats>".
 func ParseMachine(s string) (*Machine, error) {
-	if s == "alpha" {
-		return Alpha(), nil
-	}
-	if rest, ok := strings.CutPrefix(s, "tiny:"); ok {
-		var ni, nf int
-		if _, err := fmt.Sscanf(rest, "%d,%d", &ni, &nf); err != nil {
-			return nil, fmt.Errorf("bad machine %q (want tiny:<ints>,<floats>)", s)
-		}
-		return target.NewTiny(ni, nf)
-	}
-	return nil, fmt.Errorf("unknown machine %q (want alpha or tiny:<ints>,<floats>)", s)
+	return target.Parse(s)
 }
+
+// MachineNames lists the named machine presets ParseMachine accepts.
+func MachineNames() []string { return target.PresetNames() }
 
 // NewBuilder returns a program builder for a machine.
 func NewBuilder(m *Machine, memWords int) *Builder { return ir.NewBuilder(m, memWords) }
