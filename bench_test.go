@@ -13,14 +13,19 @@
 package regalloc_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http/httptest"
 	"testing"
 
 	regalloc "repro"
 	"repro/internal/alloc"
 	"repro/internal/experiments"
 	"repro/internal/progs"
+	"repro/internal/serve"
 	"repro/internal/target"
 	"repro/internal/vm"
 )
@@ -193,6 +198,61 @@ func BenchmarkEngineSteadyState(b *testing.B) {
 			b.ReportMetric(float64(rep.HeapAllocs), "heap-allocs/op")
 		})
 	}
+}
+
+// BenchmarkServeSteadyState measures the allocation service in its
+// steady state: a fixed workload (experiments.Workload) replayed over
+// real HTTP against an in-process lsra-served instance whose
+// content-addressed cache is already warm, so every request is a cache
+// hit. This is the serving-path analogue of BenchmarkEngineSteadyState:
+// time/op is one full workload replay (requests + JSON + cache lookups,
+// no allocator phases), and the cache hit rate is exported as a custom
+// metric to catch a silently cold cache.
+func BenchmarkServeSteadyState(b *testing.B) {
+	s, err := serve.New(serve.Config{Workers: 2, QueueDepth: 64, Verify: false})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	mach, err := target.Parse("x86-8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs, err := experiments.Workload(mach, []string{"default", "straightline"}, 100, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := ts.Client()
+	replay := func() {
+		for _, job := range jobs {
+			body, err := json.Marshal(&serve.AllocateRequest{Machine: "x86-8", Program: job.Text})
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp, err := client.Post(ts.URL+"/allocate", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	}
+	replay() // warm the cache: every timed request is a hit
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replay()
+	}
+	b.StopTimer()
+	st := s.Cache().Stats()
+	b.ReportMetric(st.HitRate(), "cache-hit-rate")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(jobs)), "ns/request")
 }
 
 // BenchmarkAblationTwoPass regenerates the §3.1 comparison: second-chance

@@ -7,6 +7,7 @@
 //	lsra-bench -table3     allocation times vs. candidate counts
 //	lsra-bench -ablation   §3.1 two-pass comparison and feature ablations
 //	lsra-bench -alloc      per-benchmark engine allocation reports
+//	lsra-bench -serve      allocation-service steady state (cold vs. warm cache)
 //	lsra-bench -all        everything
 //
 // Use -scale to shrink or grow the workloads (1.0 reproduces the default
@@ -19,16 +20,20 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http/httptest"
 	"os"
 	"time"
 
 	regalloc "repro"
 	"repro/internal/experiments"
 	"repro/internal/progs"
+	"repro/internal/serve"
 )
 
 // benchOutput is the -json document: one field per selected section.
@@ -43,6 +48,108 @@ type benchOutput struct {
 	Sweep []experiments.SweepPoint `json:"sweep,omitempty"`
 	// Allocation holds one engine Report per suite benchmark.
 	Allocation []allocReport `json:"allocation,omitempty"`
+	// Serve is the allocation-service steady-state measurement: a fixed
+	// workload replayed over HTTP against an in-process lsra-served,
+	// cold pass (cache misses) vs. warm passes (cache hits).
+	Serve *serveBench `json:"serve,omitempty"`
+}
+
+// serveBench is the -serve section: service throughput with a cold and
+// a warm content-addressed cache.
+type serveBench struct {
+	Machine   string `json:"machine"`
+	Algorithm string `json:"algorithm"`
+	// Programs is the workload size; Rounds the number of warm replays
+	// measured.
+	Programs int `json:"programs"`
+	Rounds   int `json:"rounds"`
+	// ColdNsPerProgram is the per-program wall time of the miss pass
+	// (full pipeline); WarmNsPerProgram of the steady-state hit passes
+	// (cache lookup + serialization only).
+	ColdNsPerProgram int64 `json:"cold_ns_per_program"`
+	WarmNsPerProgram int64 `json:"warm_ns_per_program"`
+	// Speedup is cold/warm: what the content-addressed cache buys on
+	// repeated programs.
+	Speedup      float64 `json:"speedup"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// runServeBench measures the service steady state: one cold pass over
+// the workload (every request allocates), then rounds warm passes
+// (every request hits the cache), all over real HTTP.
+func runServeBench(machine string, rounds int) (*serveBench, error) {
+	s, err := serve.New(serve.Config{Workers: 2, QueueDepth: 64, Verify: false})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	mach, err := regalloc.ParseMachine(machine)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := experiments.Workload(mach, []string{"default", "call-heavy", "straightline"}, 100, 2)
+	if err != nil {
+		return nil, err
+	}
+	client := ts.Client()
+	replay := func() (time.Duration, error) {
+		start := time.Now()
+		for _, job := range jobs {
+			body, err := json.Marshal(&serve.AllocateRequest{Machine: machine, Program: job.Text})
+			if err != nil {
+				return 0, err
+			}
+			resp, err := client.Post(ts.URL+"/allocate", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return 0, err
+			}
+			_, cerr := io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if cerr != nil {
+				return 0, cerr
+			}
+			if resp.StatusCode != 200 {
+				return 0, fmt.Errorf("serve bench: status %d", resp.StatusCode)
+			}
+		}
+		return time.Since(start), nil
+	}
+	cold, err := replay()
+	if err != nil {
+		return nil, err
+	}
+	after := s.Cache().Stats() // cold-pass misses end here
+	var warm time.Duration
+	for r := 0; r < rounds; r++ {
+		d, err := replay()
+		if err != nil {
+			return nil, err
+		}
+		warm += d
+	}
+	// Hit rate of the warm passes alone — the steady state the section
+	// reports — not the cache's lifetime rate, which would dilute with
+	// the deliberate cold misses.
+	final := s.Cache().Stats()
+	warmHits := final.Hits - after.Hits
+	warmTotal := warmHits + (final.Misses - after.Misses)
+	n := int64(len(jobs))
+	sb := &serveBench{
+		Machine:          machine,
+		Algorithm:        "binpack",
+		Programs:         len(jobs),
+		Rounds:           rounds,
+		ColdNsPerProgram: cold.Nanoseconds() / n,
+		WarmNsPerProgram: warm.Nanoseconds() / (n * int64(rounds)),
+	}
+	if warmTotal > 0 {
+		sb.CacheHitRate = float64(warmHits) / float64(warmTotal)
+	}
+	if sb.WarmNsPerProgram > 0 {
+		sb.Speedup = float64(sb.ColdNsPerProgram) / float64(sb.WarmNsPerProgram)
+	}
+	return sb, nil
 }
 
 // allocReport pairs a benchmark name with its engine Report.
@@ -60,6 +167,7 @@ func main() {
 		abl     = flag.Bool("ablation", false, "run the two-pass and feature ablations")
 		sweep   = flag.Bool("sweep", false, "registers-vs-quality sweep across machine shapes")
 		sweepB  = flag.String("sweep-bench", "eqntott", "benchmark the -sweep runs")
+		srv     = flag.Bool("serve", false, "allocation-service steady-state benchmark (cold vs. warm cache)")
 		allocF  = flag.Bool("alloc", false, "per-benchmark engine allocation reports")
 		all     = flag.Bool("all", false, "run everything")
 		scale   = flag.Float64("scale", 1.0, "workload scale multiplier")
@@ -70,9 +178,9 @@ func main() {
 	)
 	flag.Parse()
 	if *all {
-		*t1, *t2, *f3, *t3, *abl, *sweep, *allocF = true, true, true, true, true, true, true
+		*t1, *t2, *f3, *t3, *abl, *sweep, *srv, *allocF = true, true, true, true, true, true, true, true
 	}
-	if !*t1 && !*t2 && !*f3 && !*t3 && !*abl && !*sweep && !*allocF {
+	if !*t1 && !*t2 && !*f3 && !*t3 && !*abl && !*sweep && !*srv && !*allocF {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -115,6 +223,11 @@ func main() {
 		machines := experiments.SweepMachines()
 		allocators := []string{"binpack", "twopass", "coloring", "linearscan"}
 		if out.Sweep, err = experiments.RegisterSweep(machines, allocators, *sweepB, *scale); err != nil {
+			die(err)
+		}
+	}
+	if *srv {
+		if out.Serve, err = runServeBench("x86-8", 3); err != nil {
 			die(err)
 		}
 	}
@@ -228,6 +341,17 @@ func printText(out *benchOutput) {
 			fmt.Printf("%-12s %5d %5d  %-12s %12d %10d %7.3f%% %7.3f\n",
 				p.Machine, p.IntRegs, p.FloatRegs, p.Allocator, p.Instrs, p.Spill, p.SpillPct, p.RatioToWidest)
 		}
+		fmt.Println()
+	}
+
+	if out.Serve != nil {
+		s := out.Serve
+		fmt.Println("Serve: allocation-service steady state (in-process lsra-served over HTTP)")
+		fmt.Printf("%-10s %-10s %9s %7s %14s %14s %8s %9s\n",
+			"machine", "algorithm", "programs", "rounds", "cold-ns/prog", "warm-ns/prog", "speedup", "hit-rate")
+		fmt.Printf("%-10s %-10s %9d %7d %14d %14d %7.1fx %8.3f\n",
+			s.Machine, s.Algorithm, s.Programs, s.Rounds,
+			s.ColdNsPerProgram, s.WarmNsPerProgram, s.Speedup, s.CacheHitRate)
 		fmt.Println()
 	}
 

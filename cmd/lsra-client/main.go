@@ -1,0 +1,127 @@
+// Command lsra-client scripts against a running lsra-served daemon: it
+// posts textual IR programs for allocation and fetches service metrics.
+//
+//	lsra-client -addr http://localhost:7421 -machine alpha prog.ir
+//	cat prog.ir | lsra-client -machine tiny:6,4 -algo linearscan
+//	lsra-client -metrics
+//
+// By default the allocated program is printed to stdout and a one-line
+// summary (cache status, candidates, spills, wall time) to stderr; -json
+// dumps the daemon's full AllocateResponse instead. Multiple input files
+// are sent as one batch request.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// shortKey abbreviates a content address for the summary line: the
+// hash-scheme prefix plus the first 12 digest characters, tolerating
+// keys of any length.
+func shortKey(key string) string {
+	scheme, digest, ok := strings.Cut(key, ":")
+	if !ok || len(digest) <= 12 {
+		return key
+	}
+	return scheme + ":" + digest[:12] + "…"
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://localhost:7421", "daemon base URL")
+		machine = flag.String("machine", "alpha", "machine spec (preset or tiny:<ints>,<floats>)")
+		algo    = flag.String("algo", "binpack", "allocator registry name")
+		jsonOut = flag.Bool("json", false, "print the full JSON response")
+		metrics = flag.Bool("metrics", false, "fetch /metrics instead of allocating")
+		timeout = flag.Duration("timeout", 60*time.Second, "request timeout")
+	)
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "lsra-client:", err)
+		os.Exit(1)
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	if *metrics {
+		resp, err := client.Get(*addr + "/metrics")
+		if err != nil {
+			die(err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+			die(err)
+		}
+		return
+	}
+
+	req := serve.AllocateRequest{Machine: *machine, Algorithm: *algo}
+	if flag.NArg() == 0 {
+		text, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			die(err)
+		}
+		req.Program = string(text)
+	} else {
+		for _, path := range flag.Args() {
+			text, err := os.ReadFile(path)
+			if err != nil {
+				die(err)
+			}
+			req.Programs = append(req.Programs, string(text))
+		}
+	}
+
+	body, err := json.Marshal(&req)
+	if err != nil {
+		die(err)
+	}
+	resp, err := client.Post(*addr+"/allocate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		die(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		die(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e serve.ErrorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			die(fmt.Errorf("%s: %s", resp.Status, e.Error))
+		}
+		die(fmt.Errorf("%s: %s", resp.Status, raw))
+	}
+	if *jsonOut {
+		os.Stdout.Write(raw)
+		return
+	}
+	var out serve.AllocateResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		die(err)
+	}
+	for i, res := range out.Results {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(res.Program)
+		status := "allocated"
+		if res.Cached {
+			status = "cache hit"
+		}
+		rep := res.Report
+		fmt.Fprintf(os.Stderr, "lsra-client: %s (%s on %s): %s, %d procs, %d candidates, %d spilled, wall %v\n",
+			status, out.Algorithm, out.Machine, shortKey(res.Key),
+			len(rep.Procs), rep.Totals.Candidates, rep.Totals.SpilledTemps, rep.WallTime)
+	}
+}

@@ -25,6 +25,7 @@ type Engine struct {
 	algorithm     string
 	binpack       BinpackOptions
 	binpackSet    bool
+	binpackEff    BinpackOptions // effective options (cache fingerprint)
 	dce           bool
 	peephole      bool
 	forwardStores bool
@@ -32,6 +33,7 @@ type Engine struct {
 	parallelism   int
 	profilePhases bool
 	observer      Observer
+	cache         ResultCache
 
 	factory alloc.Factory
 	pool    sync.Pool // of Allocator instances, one per concurrent worker
@@ -191,6 +193,11 @@ type Report struct {
 	HeapAllocs  uint64        `json:"heap_allocs"`
 	HeapBytes   uint64        `json:"heap_bytes"`
 	WallTime    time.Duration `json:"wall_time_ns"`
+	// Cached marks a report returned from the result cache by
+	// AllocateCached: the statistics describe the original allocation
+	// that populated the entry, and no pipeline phase ran for this
+	// request.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // New constructs an Engine for a machine. With no options it mirrors
@@ -224,6 +231,7 @@ func New(mach *Machine, opts ...Option) (*Engine, error) {
 			bo = e.binpack
 		}
 		bo.SecondChance = e.algorithm == "binpack"
+		e.binpackEff = bo
 		e.factory = func(m *Machine) Allocator { return core.New(m, bo) }
 	default:
 		f, ok := alloc.Lookup(e.algorithm)

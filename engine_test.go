@@ -542,7 +542,8 @@ func TestParseMachine(t *testing.T) {
 	}
 }
 
-// Example-style smoke test of the documented quickstart flow.
+// TestEngineQuickstartShape is an example-style smoke test of the
+// documented quickstart flow.
 func TestEngineQuickstartShape(t *testing.T) {
 	mach := regalloc.Alpha()
 	b := regalloc.NewBuilder(mach, 8)

@@ -131,7 +131,8 @@ func TestForEachMembersOrder(t *testing.T) {
 	}
 }
 
-// Property: set operations agree with a map-based model.
+// TestQuickAgainstModel checks the property that set operations agree
+// with a map-based model.
 func TestQuickAgainstModel(t *testing.T) {
 	f := func(adds []uint8, removes []uint8) bool {
 		s := New(256)
@@ -159,8 +160,8 @@ func TestQuickAgainstModel(t *testing.T) {
 	}
 }
 
-// Property: union is commutative and idempotent; subtract then union
-// restores a superset relationship.
+// TestQuickAlgebra checks that union is commutative and idempotent, and
+// that subtract then union restores a superset relationship.
 func TestQuickAlgebra(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	randSet := func() *Set {

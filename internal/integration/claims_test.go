@@ -12,7 +12,7 @@ import (
 // allocators cannot silently regress the reproduction. They run the
 // actual experiment harness at reduced scale.
 
-// TestClaimQualityNearColoring: Table 1's headline — binpacking's
+// TestClaimQualityNearColoring — Table 1's headline — binpacking's
 // dynamic instruction counts stay close to coloring's on the non-fpppp
 // suite (the paper's ratios range 1.000–1.131 there).
 func TestClaimQualityNearColoring(t *testing.T) {
@@ -35,7 +35,7 @@ func TestClaimQualityNearColoring(t *testing.T) {
 	}
 }
 
-// TestClaimSpillFreeBenchmarks: Table 2 — the benchmarks the paper
+// TestClaimSpillFreeBenchmarks — Table 2 — the benchmarks the paper
 // reports as spill-free stay spill-free under both allocators (wc is
 // near-zero in our phase-structured variant).
 func TestClaimSpillFreeBenchmarks(t *testing.T) {
@@ -61,7 +61,7 @@ func TestClaimSpillFreeBenchmarks(t *testing.T) {
 	}
 }
 
-// TestClaimTwoPassCollapsesOnWC: §3.1 — two-pass binpacking is far worse
+// TestClaimTwoPassCollapsesOnWC — §3.1 — two-pass binpacking is far worse
 // on wc (paper: +38%; we accept 1.2–1.6×) and identical on eqntott.
 func TestClaimTwoPassCollapsesOnWC(t *testing.T) {
 	if testing.Short() {
@@ -91,7 +91,7 @@ func TestClaimTwoPassCollapsesOnWC(t *testing.T) {
 	}
 }
 
-// TestClaimEarlySecondChanceMatters: §2.5 — removing early second chance
+// TestClaimEarlySecondChanceMatters — §2.5 — removing early second chance
 // must hurt wc substantially (the phase transition becomes stores plus
 // per-iteration reloads).
 func TestClaimEarlySecondChanceMatters(t *testing.T) {
@@ -110,7 +110,7 @@ func TestClaimEarlySecondChanceMatters(t *testing.T) {
 	}
 }
 
-// TestClaimMoveOptMatters: §2.5 — removing move optimization must hurt
+// TestClaimMoveOptMatters — §2.5 — removing move optimization must hurt
 // the call-intensive li workload (parameter moves survive).
 func TestClaimMoveOptMatters(t *testing.T) {
 	if testing.Short() {
@@ -128,7 +128,7 @@ func TestClaimMoveOptMatters(t *testing.T) {
 	}
 }
 
-// TestClaimColoringDegradesOnLargeModules: Table 3 — coloring's
+// TestClaimColoringDegradesOnLargeModules — Table 3 — coloring's
 // allocation time grows far faster than binpacking's between the small
 // and the large module.
 func TestClaimColoringDegradesOnLargeModules(t *testing.T) {
@@ -165,7 +165,7 @@ func TestClaimColoringDegradesOnLargeModules(t *testing.T) {
 	}
 }
 
-// TestClaimColoringHasNoResolveCode: Figure 3's structural property —
+// TestClaimColoringHasNoResolveCode — Figure 3's structural property —
 // coloring never emits resolution-tagged instructions; only the linear
 // allocator needs edge repair.
 func TestClaimColoringHasNoResolveCode(t *testing.T) {

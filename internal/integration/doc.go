@@ -1,0 +1,8 @@
+// Package integration ties the whole pipeline together: every allocator
+// is run over the paper's benchmark suite and hundreds of random
+// programs, and each allocation must (a) pass the symbolic verifier and
+// (b) produce bit-identical VM output against the unallocated program,
+// with caller-saved registers poisoned at every call. The package holds
+// tests only; this file exists so the package documentation lives in a
+// non-test file.
+package integration

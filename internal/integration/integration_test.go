@@ -1,8 +1,6 @@
-// Package integration ties the whole pipeline together: every allocator
-// is run over the paper's benchmark suite and hundreds of random
-// programs, and each allocation must (a) pass the symbolic verifier and
-// (b) produce bit-identical VM output against the unallocated program,
-// with caller-saved registers poisoned at every call.
+// End-to-end allocator runs over the benchmark suite and random
+// programs; see doc.go for the package overview.
+
 package integration
 
 import (

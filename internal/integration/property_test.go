@@ -12,7 +12,7 @@ import (
 // Property tests over random programs for the analysis substrate: these
 // are the invariants the allocators rely on.
 
-// TestPropertyLifetimeInvariants: for random programs, every temporary's
+// TestPropertyLifetimeInvariants — for random programs, every temporary's
 // interval has sorted disjoint segments, every reference falls on a live
 // position inside the lifetime, and holes are exactly the dead gaps.
 func TestPropertyLifetimeInvariants(t *testing.T) {
@@ -53,7 +53,7 @@ func TestPropertyLifetimeInvariants(t *testing.T) {
 	}
 }
 
-// TestPropertyLivenessConsistency: the per-position view derived from
+// TestPropertyLivenessConsistency — the per-position view derived from
 // lifetimes agrees with block-boundary liveness: a global temporary in
 // LiveIn(b) must be live at b's first position, and one in LiveOut(b)
 // live at b's last position. (The converse need not hold: a definition
@@ -88,7 +88,7 @@ func TestPropertyLivenessConsistency(t *testing.T) {
 	}
 }
 
-// TestPropertyRegBusyConservative: every explicit physical-register
+// TestPropertyRegBusyConservative — every explicit physical-register
 // operand position is busy in the RegBusy table, and callee-saved
 // registers are never busy.
 func TestPropertyRegBusyConservative(t *testing.T) {
@@ -129,7 +129,7 @@ func TestPropertyRegBusyConservative(t *testing.T) {
 	}
 }
 
-// TestPropertyAllocationIdempotentStats: allocating the same procedure
+// TestPropertyAllocationIdempotentStats — allocating the same procedure
 // twice yields identical static spill counts (the allocators are
 // deterministic).
 func TestPropertyAllocationIdempotentStats(t *testing.T) {

@@ -141,6 +141,16 @@ func Random(mach *target.Machine, cfg GenConfig) *ir.Program {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	b := ir.NewBuilder(mach, 256)
 
+	// Convention-hostile machines may not fit every generator feature:
+	// the two-argument helper needs two integer parameter registers
+	// (narrow-1 has a single shared one), so it degrades to intrinsic
+	// calls there. The statement mix rolls the same RNG sequence either
+	// way, so machines with full conventions are bit-identical to the
+	// historical output.
+	if cfg.Helper && len(mach.ParamRegs(target.ClassInt)) < 2 {
+		cfg.Helper = false
+	}
+
 	if cfg.Helper {
 		buildHelper(b)
 	}

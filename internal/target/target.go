@@ -13,6 +13,7 @@ package target
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -155,12 +156,40 @@ func (m *Machine) finish() *Machine {
 			}
 		}
 		order := append([]Reg{}, plain...)
-		order = append(order, m.retReg[c])
-		order = append(order, m.paramRegs[c]...)
-		order = append(order, m.calleeSaved[c]...)
+		// Convention registers may coincide (narrow-1's single register
+		// is both parameter and return), so dedupe while appending.
+		seen := make(map[Reg]bool, len(order)+4)
+		for _, r := range order {
+			seen[r] = true
+		}
+		for _, r := range append(append([]Reg{m.retReg[c]}, m.paramRegs[c]...), m.calleeSaved[c]...) {
+			if !seen[r] {
+				seen[r] = true
+				order = append(order, r)
+			}
+		}
 		m.allocOrder[c] = order
 	}
 	return m
+}
+
+// Spec renders the machine as a stable, convention-complete textual
+// description: every register with its class, save discipline and
+// allocatability, followed by the parameter and return assignments of
+// each file. Two machines allocate identically iff their Specs are
+// equal, which makes Spec the machine component of content-addressed
+// cache keys (regalloc.Engine.CacheKey, internal/serve).
+func (m *Machine) Spec() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "machine %s regs=%d\n", m.Name, len(m.regs))
+	for i, r := range m.regs {
+		fmt.Fprintf(&sb, "%d %s class=%s caller=%t alloc=%t\n",
+			i, r.Name, r.Class, r.CallerSaved, r.Allocatable)
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		fmt.Fprintf(&sb, "%s params=%v ret=%d\n", c, m.paramRegs[c], m.retReg[c])
+	}
+	return sb.String()
 }
 
 // Config describes a custom machine for New: register counts per file,
@@ -306,11 +335,13 @@ func Tiny(nInt, nFloat int) *Machine {
 }
 
 // presets are the named machine shapes beyond Alpha and Tiny that the
-// conformance grid sweeps: small CISC-like, mid RISC-like, very wide,
-// and a file-skewed integer-heavy shape. Each convention provides at
-// least two integer and one float parameter register (what the random
-// program generator's helper and intrinsic calls need) so every preset
-// can run every workload profile.
+// conformance grid sweeps: small CISC-like, mid RISC-like, very wide, a
+// file-skewed integer-heavy shape, and two convention-hostile shapes
+// (scratch-8 with no callee-saved registers at all, narrow-1 with a
+// single register doing both parameter and return duty per file). The
+// random program generator adapts its helper-call emission to machines
+// with fewer than two integer parameter registers (progs.Random), so
+// every preset can run every workload profile.
 var presets = map[string]func() *Machine{
 	"alpha": Alpha,
 	// x86-8: the classic 8/8 two-file squeeze. Like 32-bit x86, most of
@@ -374,13 +405,46 @@ var presets = map[string]func() *Machine{
 			IntRet:           0, FloatRet: 0,
 		})
 	},
+	// scratch-8: zero callee-saved registers — every register is call-
+	// clobbered scratch. Nothing survives a call in a register, so any
+	// value live across a call must be spilled; allocators that lean on
+	// the callee-saved band for long lifetimes get no help at all.
+	"scratch-8": func() *Machine {
+		return MustNew(Config{
+			Name:   "scratch-8",
+			NumInt: 8, NumFloat: 8,
+			CallerSavedInt:   []int{0, 1, 2, 3, 4, 5, 6, 7},
+			CallerSavedFloat: []int{0, 1, 2, 3, 4, 5, 6, 7},
+			IntParams:        []int{1, 2},
+			FloatParams:      []int{1},
+			IntRet:           0, FloatRet: 0,
+		})
+	},
+	// narrow-1: a single convention register per file — register 0 is
+	// simultaneously the only parameter register and the return
+	// register (and caller-saved). Every call funnels through one
+	// register, so argument setup, result readout and poisoning all
+	// collide on it; resolution and eviction around calls must be
+	// exactly right.
+	"narrow-1": func() *Machine {
+		return MustNew(Config{
+			Name:   "narrow-1",
+			NumInt: 6, NumFloat: 4,
+			CallerSavedInt:   []int{0, 1, 2},
+			CallerSavedFloat: []int{0, 1},
+			IntParams:        []int{0},
+			FloatParams:      []int{0},
+			IntRet:           0, FloatRet: 0,
+		})
+	},
 	"tiny": func() *Machine { return Tiny(6, 4) },
 }
 
 // Preset returns the named machine preset. The names cover the paper's
 // Alpha plus the conformance grid's diverse shapes: "alpha", "x86-8",
-// "risc-16", "wide-64", "int-heavy", and "tiny" (the tiny(6,4) spill
-// forcer).
+// "risc-16", "wide-64", "int-heavy", "scratch-8" (no callee-saved
+// registers), "narrow-1" (one shared parameter/return register per
+// file), and "tiny" (the tiny(6,4) spill forcer).
 func Preset(name string) (*Machine, error) {
 	mk, ok := presets[name]
 	if !ok {
@@ -390,17 +454,31 @@ func Preset(name string) (*Machine, error) {
 }
 
 // Parse resolves the machine-spec syntax every tool and harness shares:
-// a preset name or the parameterized "tiny:<ints>,<floats>" form.
+// a preset name or the parameterized "tiny:<ints>,<floats>" form. The
+// parse is strict (no trailing garbage — every spec string names
+// exactly one machine, which content-addressed caching relies on) and
+// tiny sizes are bounded by MaxTinyRegs, since specs arrive from
+// untrusted daemon clients.
 func Parse(name string) (*Machine, error) {
 	if rest, ok := strings.CutPrefix(name, "tiny:"); ok {
-		var ni, nf int
-		if n, err := fmt.Sscanf(rest, "%d,%d", &ni, &nf); n != 2 || err != nil {
+		is, fs, ok := strings.Cut(rest, ",")
+		if !ok {
+			return nil, fmt.Errorf("target: bad machine %q (want tiny:<ints>,<floats>)", name)
+		}
+		ni, err1 := strconv.Atoi(is)
+		nf, err2 := strconv.Atoi(fs)
+		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("target: bad machine %q (want tiny:<ints>,<floats>)", name)
 		}
 		return NewTiny(ni, nf)
 	}
 	return Preset(name)
 }
+
+// MaxTinyRegs bounds each register file of a parameterized tiny
+// machine: far beyond any realistic target, small enough that a hostile
+// spec cannot allocate an enormous Machine.
+const MaxTinyRegs = 1024
 
 // PresetNames returns every preset name, sorted.
 func PresetNames() []string {
@@ -417,6 +495,9 @@ func PresetNames() []string {
 func NewTiny(nInt, nFloat int) (*Machine, error) {
 	if nInt < 3 || nFloat < 2 {
 		return nil, fmt.Errorf("target: tiny(%d,%d) is too small for the calling convention (need ≥ 3 int and ≥ 2 float registers)", nInt, nFloat)
+	}
+	if nInt > MaxTinyRegs || nFloat > MaxTinyRegs {
+		return nil, fmt.Errorf("target: tiny(%d,%d) exceeds the %d-register file bound", nInt, nFloat, MaxTinyRegs)
 	}
 	cfg := Config{Name: fmt.Sprintf("tiny(%d,%d)", nInt, nFloat), NumInt: nInt, NumFloat: nFloat}
 	file := func(n int) (caller, params []int) {

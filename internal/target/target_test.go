@@ -1,6 +1,7 @@
 package target
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -58,9 +59,104 @@ func checkConventions(t *testing.T, m *Machine) {
 				t.Errorf("%s: ParamRegs(%v) repeats %s", m.Name, c, m.RegName(r))
 			}
 			params[r] = true
-			if r == ret {
-				t.Errorf("%s: ParamRegs(%v) overlaps the return register", m.Name, c)
+		}
+	}
+}
+
+func TestParseStrict(t *testing.T) {
+	// Machine specs arrive from untrusted daemon clients: the parse
+	// must be exact (no trailing garbage aliasing distinct spec
+	// strings onto one machine) and size-bounded.
+	for _, bad := range []string{
+		"tiny:6,4xyz", "tiny:6x,4", "tiny:6, 4", "tiny:6",
+		"tiny:6,4,2", "tiny:1000000000,2000000", "tiny:4,2000",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed or oversized spec", bad)
+		}
+	}
+	m, err := Parse("tiny:6,4")
+	if err != nil || m.NumRegs() != 10 {
+		t.Fatalf("Parse(tiny:6,4) = %v, %v", m, err)
+	}
+	if _, err := Parse(fmt.Sprintf("tiny:%d,%d", MaxTinyRegs, MaxTinyRegs)); err != nil {
+		t.Errorf("Parse rejected the documented MaxTinyRegs bound: %v", err)
+	}
+}
+
+func TestMachineSpec(t *testing.T) {
+	// Spec is the machine component of content-addressed cache keys:
+	// equal machines must produce equal specs, and any convention
+	// difference must show up.
+	if Alpha().Spec() != Alpha().Spec() {
+		t.Error("Alpha Spec not deterministic")
+	}
+	specs := make(map[string]string)
+	for _, name := range PresetNames() {
+		m, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := specs[m.Spec()]; dup {
+			t.Errorf("presets %s and %s share a Spec", prev, name)
+		}
+		specs[m.Spec()] = name
+	}
+	// Same shape, different save discipline: x86-8 and scratch-8 are
+	// both 8/8 but must not collide.
+	a, _ := Preset("x86-8")
+	b, _ := Preset("scratch-8")
+	if a.Spec() == b.Spec() {
+		t.Error("x86-8 and scratch-8 Specs collide despite different conventions")
+	}
+}
+
+func TestHostilePresets(t *testing.T) {
+	// scratch-8: every register is caller-saved; nothing survives a
+	// call in a register.
+	m, err := Preset("scratch-8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConventions(t, m)
+	for c := Class(0); c < NumClasses; c++ {
+		if n := len(m.CalleeSavedRegs(c)); n != 0 {
+			t.Errorf("scratch-8: %d callee-saved %v regs, want 0", n, c)
+		}
+		if got, want := len(m.CallerSavedRegs(c)), len(m.AllocOrder(c)); got != want {
+			t.Errorf("scratch-8: %d caller-saved %v regs, want %d (all)", got, c, want)
+		}
+	}
+
+	// narrow-1: one register per file carries the whole convention —
+	// it is the only parameter register and the return register.
+	m, err = Preset("narrow-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConventions(t, m)
+	for c := Class(0); c < NumClasses; c++ {
+		params := m.ParamRegs(c)
+		if len(params) != 1 {
+			t.Fatalf("narrow-1: %d %v param regs, want 1", len(params), c)
+		}
+		if params[0] != m.RetReg(c) {
+			t.Errorf("narrow-1: %v param reg %s is not the return register %s",
+				c, m.RegName(params[0]), m.RegName(m.RetReg(c)))
+		}
+		if !m.CallerSaved(params[0]) {
+			t.Errorf("narrow-1: %v convention register must be caller-saved", c)
+		}
+		// The shared convention register must appear exactly once in
+		// the allocation order (the finish() dedupe).
+		n := 0
+		for _, r := range m.AllocOrder(c) {
+			if r == params[0] {
+				n++
 			}
+		}
+		if n != 1 {
+			t.Errorf("narrow-1: convention register appears %d times in AllocOrder(%v)", n, c)
 		}
 	}
 }
@@ -149,7 +245,7 @@ func TestTinyTooSmallPanics(t *testing.T) {
 
 func TestPresets(t *testing.T) {
 	names := PresetNames()
-	want := []string{"alpha", "int-heavy", "risc-16", "tiny", "wide-64", "x86-8"}
+	want := []string{"alpha", "int-heavy", "narrow-1", "risc-16", "scratch-8", "tiny", "wide-64", "x86-8"}
 	if len(names) != len(want) {
 		t.Fatalf("PresetNames() = %v, want %v", names, want)
 	}
@@ -164,6 +260,8 @@ func TestPresets(t *testing.T) {
 		"risc-16":   {16, 16},
 		"wide-64":   {64, 64},
 		"int-heavy": {24, 4},
+		"scratch-8": {8, 8},
+		"narrow-1":  {6, 4},
 		"tiny":      {6, 4},
 	}
 	for _, name := range names {
@@ -182,10 +280,13 @@ func TestPresets(t *testing.T) {
 		if got := len(m.byClass[ClassFloat]); got != sh.nf {
 			t.Errorf("%s: %d float regs, want %d", name, got, sh.nf)
 		}
-		// Every preset must support the workload generator's calls: two
-		// integer arguments (the helper) and one float argument (fsqrt).
-		if len(m.ParamRegs(ClassInt)) < 2 {
-			t.Errorf("%s: %d int param regs, want ≥ 2", name, len(m.ParamRegs(ClassInt)))
+		// Every preset must support the workload generator's intrinsic
+		// calls: at least one parameter register per file (puti/fsqrt).
+		// The two-argument helper additionally needs two integer
+		// parameter registers; progs.Random degrades it to intrinsic
+		// calls on machines (narrow-1) that lack them.
+		if len(m.ParamRegs(ClassInt)) < 1 {
+			t.Errorf("%s: no int param reg", name)
 		}
 		if len(m.ParamRegs(ClassFloat)) < 1 {
 			t.Errorf("%s: no float param reg", name)

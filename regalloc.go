@@ -132,7 +132,8 @@ func Tiny(nInt, nFloat int) *Machine { return target.Tiny(nInt, nFloat) }
 
 // ParseMachine parses the machine spec the command-line tools share: a
 // named preset ("alpha", "x86-8", "risc-16", "wide-64", "int-heavy",
-// "tiny") or a parameterized "tiny:<ints>,<floats>".
+// "scratch-8", "narrow-1", "tiny") or a parameterized
+// "tiny:<ints>,<floats>".
 func ParseMachine(s string) (*Machine, error) {
 	return target.Parse(s)
 }
@@ -175,6 +176,8 @@ func (a Algorithm) Name() string {
 	return fmt.Sprintf("algorithm-%d", int(a))
 }
 
+// String returns the algorithm's human-readable description (Name is
+// the registry identifier).
 func (a Algorithm) String() string {
 	switch a {
 	case SecondChance:
