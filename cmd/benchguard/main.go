@@ -8,7 +8,10 @@
 // its threshold can be tight where time/op's must be loose.
 //
 // benchstat remains the human-readable report (the CI job runs it right
-// before this gate); benchguard is the machine-checkable verdict.
+// before this gate); benchguard is the machine-checkable verdict. The
+// statistics live in the shared internal/perfdb/stats package, so this
+// gate and the perf observatory's changepoint flagging (cmd/lsra-perfd)
+// agree on what counts as a regression.
 //
 // Usage:
 //
@@ -23,11 +26,12 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/perfdb/stats"
 )
 
 // sampleKey identifies one metric series of one benchmark.
@@ -95,90 +99,6 @@ func parseBenchLine(line string) (name string, pairs []metricPair, ok bool) {
 	return name, pairs, len(pairs) > 0
 }
 
-// median returns the middle of a sorted copy of xs.
-func median(xs []float64) float64 {
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	n := len(s)
-	if n == 0 {
-		return math.NaN()
-	}
-	if n%2 == 1 {
-		return s[n/2]
-	}
-	return (s[n/2-1] + s[n/2]) / 2
-}
-
-// mannWhitneyP returns the two-sided p-value of the Mann-Whitney U test
-// for samples a vs b, using the normal approximation with tie
-// correction. For the small sample counts CI uses (-count 6) the
-// approximation is conservative enough for gating; exactness matters
-// less than the threshold it is combined with.
-func mannWhitneyP(a, b []float64) float64 {
-	n1, n2 := float64(len(a)), float64(len(b))
-	if n1 == 0 || n2 == 0 {
-		return 1
-	}
-	type obs struct {
-		v     float64
-		fromA bool
-	}
-	all := make([]obs, 0, len(a)+len(b))
-	for _, v := range a {
-		all = append(all, obs{v, true})
-	}
-	for _, v := range b {
-		all = append(all, obs{v, false})
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
-
-	// Rank with midranks for ties, accumulating the tie correction.
-	ranks := make([]float64, len(all))
-	tieCorr := 0.0
-	for i := 0; i < len(all); {
-		j := i
-		for j < len(all) && all[j].v == all[i].v {
-			j++
-		}
-		r := float64(i+j+1) / 2 // average 1-based rank of the tied run
-		for k := i; k < j; k++ {
-			ranks[k] = r
-		}
-		t := float64(j - i)
-		tieCorr += t*t*t - t
-		i = j
-	}
-	var r1 float64
-	for i, o := range all {
-		if o.fromA {
-			r1 += ranks[i]
-		}
-	}
-	u1 := r1 - n1*(n1+1)/2
-	mu := n1 * n2 / 2
-	n := n1 + n2
-	sigma2 := n1 * n2 / 12 * ((n + 1) - tieCorr/(n*(n-1)))
-	if sigma2 <= 0 {
-		// All observations identical: no evidence of a difference.
-		return 1
-	}
-	z := (u1 - mu) / math.Sqrt(sigma2)
-	if z > 0 {
-		z = z - 0.5/math.Sqrt(sigma2) // continuity correction
-	} else if z < 0 {
-		z = z + 0.5/math.Sqrt(sigma2)
-	}
-	p := 2 * (1 - normCDF(math.Abs(z)))
-	if p > 1 {
-		p = 1
-	}
-	return p
-}
-
-func normCDF(x float64) float64 {
-	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
-}
-
 // thresholds maps a metric unit to the maximum tolerated relative median
 // regression; metrics not listed are informational only.
 func thresholds(timeThresh, allocThresh float64) map[string]float64 {
@@ -234,7 +154,7 @@ func main() {
 		return keys[i].metric < keys[j].metric
 	})
 
-	regressions := 0
+	var violations []string
 	missing := 0
 	for _, k := range keys {
 		oldV, ok := oldS[k]
@@ -243,26 +163,25 @@ func main() {
 			fmt.Printf("NEW      %-60s %-10s (no baseline)\n", k.bench, k.metric)
 			continue
 		}
-		om, nm := median(oldV), median(newS[k])
-		p := mannWhitneyP(oldV, newS[k])
+		om, nm := stats.Median(oldV), stats.Median(newS[k])
+		p := stats.MannWhitneyP(oldV, newS[k])
 		verdict := "ok"
 		deltaStr := "n/a"
+		violated := false
 		if om > 0 {
 			delta := (nm - om) / om
 			deltaStr = fmt.Sprintf("%+.1f%%", 100*delta)
-			if delta > gate[k.metric] && p < *alpha {
-				verdict = "REGRESSION"
-				regressions++
-			}
+			violated = delta > gate[k.metric] && p < *alpha
 		} else if nm > 0 {
 			// A zero baseline is a hard-won floor (0 allocs/op is this
 			// repo's stated steady-state target): any significant move
 			// off it is a regression, relative delta or not.
 			deltaStr = "from-zero"
-			if p < *alpha {
-				verdict = "REGRESSION"
-				regressions++
-			}
+			violated = p < *alpha
+		}
+		if violated {
+			verdict = "REGRESSION"
+			violations = append(violations, violationMessage(k, om, nm, deltaStr, p, gate[k.metric]))
 		}
 		fmt.Printf("%-8s %-60s %-10s old=%.4g new=%.4g delta=%s p=%.3f\n",
 			verdict, k.bench, k.metric, om, nm, deltaStr, p)
@@ -297,9 +216,25 @@ func main() {
 	if gone > 0 {
 		fmt.Printf("benchguard: %d baseline series disappeared — regenerate bench/baseline.txt if intentional\n", gone)
 	}
-	if regressions > 0 {
-		fmt.Printf("benchguard: %d significant regression(s) beyond threshold\n", regressions)
+	if len(violations) > 0 {
+		// One self-contained line per violation, on stderr: CI log
+		// readers see which benchmark, which metric, and both medians
+		// without scrolling back to the table.
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		fmt.Printf("benchguard: %d significant regression(s) beyond threshold\n", len(violations))
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: no significant regressions")
+}
+
+// violationMessage renders one actionable violation line: benchmark,
+// metric name, both sample medians, the delta, the significance, and the
+// threshold that was exceeded.
+func violationMessage(k sampleKey, oldMedian, newMedian float64, deltaStr string, p, threshold float64) string {
+	return fmt.Sprintf("benchguard: REGRESSION %s %s: median %s -> %s (%s, p=%.3f, threshold %+.0f%%)",
+		k.bench, k.metric,
+		strconv.FormatFloat(oldMedian, 'f', -1, 64), strconv.FormatFloat(newMedian, 'f', -1, 64),
+		deltaStr, p, 100*threshold)
 }

@@ -1,9 +1,9 @@
 package main
 
 import (
-	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -69,55 +69,21 @@ PASS
 	}
 }
 
-func TestMedian(t *testing.T) {
-	if m := median([]float64{3, 1, 2}); m != 2 {
-		t.Fatalf("median odd = %v", m)
-	}
-	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
-		t.Fatalf("median even = %v", m)
-	}
-	if !math.IsNaN(median(nil)) {
-		t.Fatal("median of empty not NaN")
-	}
-}
+// The median / Mann-Whitney arithmetic lives in internal/perfdb/stats
+// (shared with the perf observatory) and is tested there; here we test
+// what benchguard itself owns — parsing and reporting.
 
-// TestZeroBaselineRegression pins the from-zero rule: a benchmark whose
-// baseline hit 0 allocs/op must trip the gate when allocations return,
-// even though no relative delta exists.
-func TestZeroBaselineRegression(t *testing.T) {
-	zero := []float64{0, 0, 0, 0, 0, 0}
-	back := []float64{10000, 10001, 9999, 10000, 10002, 9998}
-	if p := mannWhitneyP(zero, back); p >= 0.05 {
-		t.Fatalf("from-zero jump not significant: p=%v", p)
-	}
-	// Still-zero stays quiet.
-	if p := mannWhitneyP(zero, zero); p < 0.5 {
-		t.Fatalf("all-zero vs all-zero p=%v", p)
-	}
-}
-
-func TestMannWhitney(t *testing.T) {
-	// Clearly separated samples: significant.
-	a := []float64{100, 101, 99, 100, 102, 98}
-	b := []float64{150, 151, 149, 150, 152, 148}
-	if p := mannWhitneyP(a, b); p >= 0.05 {
-		t.Fatalf("separated samples p = %v, want < 0.05", p)
-	}
-	// Identical samples: no evidence.
-	if p := mannWhitneyP(a, a); p < 0.5 {
-		t.Fatalf("identical samples p = %v, want ~1", p)
-	}
-	// Heavily overlapping samples: not significant.
-	c := []float64{100, 103, 97, 101, 99, 102}
-	d := []float64{101, 98, 104, 100, 102, 99}
-	if p := mannWhitneyP(c, d); p < 0.05 {
-		t.Fatalf("overlapping samples p = %v, want >= 0.05", p)
-	}
-	// Degenerate inputs must not panic or claim significance.
-	if p := mannWhitneyP(nil, b); p != 1 {
-		t.Fatalf("empty sample p = %v", p)
-	}
-	if p := mannWhitneyP([]float64{5, 5, 5}, []float64{5, 5, 5}); p != 1 {
-		t.Fatalf("all-ties p = %v", p)
+// TestViolationMessage pins the actionable violation line: it must name
+// the benchmark, the metric, and both sample medians, so a CI log reader
+// can act on the failure without scrolling back to the table.
+func TestViolationMessage(t *testing.T) {
+	k := sampleKey{bench: "BenchmarkTable3/fpppp.f/binpack", metric: "allocs/op"}
+	msg := violationMessage(k, 6903, 25000, "+262.2%", 0.002, 0.10)
+	for _, want := range []string{
+		"BenchmarkTable3/fpppp.f/binpack", "allocs/op", "6903", "25000", "+262.2%", "p=0.002", "threshold +10%",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("violation message %q missing %q", msg, want)
+		}
 	}
 }

@@ -17,6 +17,14 @@
 // carry the engine's aggregate Report including its per-phase PhaseStats
 // breakdown and batch heap counters. -phases additionally samples heap
 // allocations at every phase boundary (engine WithPhaseProfile).
+//
+// Every -json document is stamped with a `meta` header (schema_version,
+// commit SHA — best-effort `git rev-parse HEAD`, overridable with
+// -commit — UTC timestamp, go version, host fingerprint) so the perf
+// observatory (internal/perfdb, cmd/lsra-perfd) can ingest it as one
+// time-series record, and with resource attribution: getrusage max
+// RSS + user/system CPU and runtime/metrics GC counters, process-wide
+// in `resources` and per benchmark on each -alloc report.
 package main
 
 import (
@@ -28,16 +36,22 @@ import (
 	"io"
 	"net/http/httptest"
 	"os"
+	"os/exec"
+	"strings"
 	"time"
 
 	regalloc "repro"
 	"repro/internal/experiments"
+	"repro/internal/perfdb"
 	"repro/internal/progs"
 	"repro/internal/serve"
 )
 
 // benchOutput is the -json document: one field per selected section.
 type benchOutput struct {
+	// Meta stamps the run for the perf observatory: schema version,
+	// commit, UTC time, go version, host fingerprint.
+	Meta      *perfdb.Meta              `json:"meta,omitempty"`
 	Table1    []experiments.Table1Row   `json:"table1,omitempty"`
 	Table2    []experiments.Table2Row   `json:"table2,omitempty"`
 	Figure3   []experiments.Figure3Row  `json:"figure3,omitempty"`
@@ -52,6 +66,9 @@ type benchOutput struct {
 	// workload replayed over HTTP against an in-process lsra-served,
 	// cold pass (cache misses) vs. warm passes (cache hits).
 	Serve *serveBench `json:"serve,omitempty"`
+	// Resources is the process-wide resource delta over all selected
+	// sections: getrusage (max RSS, user/system CPU) plus GC counters.
+	Resources *perfdb.Resources `json:"resources,omitempty"`
 }
 
 // serveBench is the -serve section: service throughput with a cold and
@@ -152,10 +169,27 @@ func runServeBench(machine string, rounds int) (*serveBench, error) {
 	return sb, nil
 }
 
-// allocReport pairs a benchmark name with its engine Report.
+// allocReport pairs a benchmark name with its engine Report and the
+// resource delta its run cost, so a stored point attributes cost to a
+// phase (PhaseStats) and a resource (rusage/GC) at once.
 type allocReport struct {
-	Benchmark string           `json:"benchmark"`
-	Report    *regalloc.Report `json:"report"`
+	Benchmark string            `json:"benchmark"`
+	Report    *regalloc.Report  `json:"report"`
+	Resources *perfdb.Resources `json:"resources,omitempty"`
+}
+
+// resolveCommit returns the commit SHA to stamp: the -commit override
+// when given, else best-effort `git rev-parse HEAD` (empty outside a
+// git tree — the stamp is still valid, just anonymous).
+func resolveCommit(override string) string {
+	if override != "" {
+		return override
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func main() {
@@ -175,6 +209,7 @@ func main() {
 		algo    = flag.String("algo", "binpack", "allocator for -alloc reports")
 		jobs    = flag.Int("jobs", 0, "parallel workers for -alloc (0 = all CPUs)")
 		phases  = flag.Bool("phases", false, "sample per-phase heap allocations in -alloc reports")
+		commit  = flag.String("commit", "", "commit `sha` to stamp (default: git rev-parse HEAD)")
 	)
 	flag.Parse()
 	if *all {
@@ -193,6 +228,8 @@ func main() {
 
 	var out benchOutput
 	var err error
+	out.Meta = perfdb.Stamp(resolveCommit(*commit))
+	startRes := perfdb.ReadResources()
 	if *t1 {
 		if out.Table1, err = experiments.Table1(mach, *scale); err != nil {
 			die(err)
@@ -254,13 +291,17 @@ func main() {
 				s = 1
 			}
 			prog := b.Build(mach, s)
+			before := perfdb.ReadResources()
 			_, rep, err := eng.AllocateProgram(context.Background(), prog)
 			if err != nil {
 				die(fmt.Errorf("%s: %w", b.Name, err))
 			}
-			out.Allocation = append(out.Allocation, allocReport{Benchmark: b.Name, Report: rep})
+			delta := perfdb.ReadResources().Sub(before)
+			out.Allocation = append(out.Allocation, allocReport{Benchmark: b.Name, Report: rep, Resources: &delta})
 		}
 	}
+	endRes := perfdb.ReadResources().Sub(startRes)
+	out.Resources = &endRes
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -356,7 +397,8 @@ func printText(out *benchOutput) {
 	}
 
 	if out.Allocation != nil {
-		fmt.Println("Allocation: engine aggregate per benchmark")
+		fmt.Println("Allocation: engine aggregate per benchmark (rss is the process")
+		fmt.Println("high-water mark at that point; cpu/gc columns are per-run deltas)")
 		fmt.Printf("%-12s %-12s %8s %12s %10s %12s %12s\n",
 			"benchmark", "algorithm", "procs", "candidates", "spilled", "wall", "heap-allocs")
 		for _, ar := range out.Allocation {
@@ -378,6 +420,27 @@ func printText(out *benchOutput) {
 				}
 				fmt.Println()
 			}
+			if res := ar.Resources; res != nil {
+				fmt.Printf("    resources: rss %.1f MiB, user %v, sys %v, gc %d cycles / %v\n",
+					float64(res.MaxRSSBytes)/(1<<20),
+					time.Duration(res.UserCPUNs).Round(time.Millisecond),
+					time.Duration(res.SysCPUNs).Round(time.Millisecond),
+					res.GCCycles, time.Duration(res.GCCPUNs).Round(time.Millisecond))
+			}
 		}
+		fmt.Println()
+	}
+
+	if res := out.Resources; res != nil {
+		fmt.Println("Resources: process-wide over all selected sections")
+		fmt.Printf("%-14s %12s %12s %10s %10s %14s\n",
+			"max-rss", "user-cpu", "sys-cpu", "gc-cycles", "gc-cpu", "heap-alloc")
+		fmt.Printf("%-14s %12v %12v %10d %10v %14s\n",
+			fmt.Sprintf("%.1f MiB", float64(res.MaxRSSBytes)/(1<<20)),
+			time.Duration(res.UserCPUNs).Round(time.Millisecond),
+			time.Duration(res.SysCPUNs).Round(time.Millisecond),
+			res.GCCycles,
+			time.Duration(res.GCCPUNs).Round(time.Millisecond),
+			fmt.Sprintf("%.1f MiB", float64(res.HeapAllocBytes)/(1<<20)))
 	}
 }

@@ -1,0 +1,113 @@
+package perfdb
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// stampedDoc builds a minimal v1 lsra-bench document for tests.
+func stampedDoc(t *testing.T, commit string, at time.Time, serveCold, scanNs float64) []byte {
+	t.Helper()
+	doc := map[string]any{
+		"meta": Meta{SchemaVersion: SchemaVersion, Commit: commit, Time: at, GoVersion: "go1.24.0", Host: "linux/amd64/test/8cpu"},
+		"allocation": []map[string]any{{
+			"benchmark": "wc",
+			"resources": Resources{MaxRSSBytes: 32 << 20, UserCPUNs: 5e6, SysCPUNs: 1e6, GCCycles: 2, GCCPUNs: 1e5, HeapAllocBytes: 4096},
+			"report": map[string]any{
+				"totals":       map[string]any{"SpilledTemps": 3},
+				"phase_stats":  []map[string]any{{"phase": "scan", "ns": scanNs, "allocs": 7}},
+				"heap_allocs":  358,
+				"wall_time_ns": 236367,
+			},
+		}},
+		"serve": map[string]any{
+			"cold_ns_per_program": serveCold,
+			"warm_ns_per_program": serveCold / 2,
+			"speedup":             2.0,
+			"cache_hit_rate":      0.99,
+		},
+		"resources": Resources{MaxRSSBytes: 64 << 20, UserCPUNs: 9e6, SysCPUNs: 2e6, GCCycles: 5, GCCPUNs: 3e5, HeapAllocBytes: 1 << 20},
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestExtractStampedDocument(t *testing.T) {
+	at := time.Date(2026, 8, 7, 10, 0, 0, 0, time.UTC)
+	rec, err := Extract(stampedDoc(t, "abc123", at, 2.9e6, 49000), Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SchemaVersion != SchemaVersion || rec.Commit != "abc123" || !rec.Time.Equal(at) {
+		t.Fatalf("meta = %+v", rec.Meta)
+	}
+	want := map[string]float64{
+		"serve_cold_ns":              2.9e6,
+		"serve_warm_ns":              1.45e6,
+		"serve_speedup":              2.0,
+		"serve_cache_hit_rate":       0.99,
+		"phase.scan.ns":              49000,
+		"phase.scan.allocs":          7,
+		"alloc.wc.wall_ns":           236367,
+		"alloc.wc.heap_allocs":       358,
+		"alloc.wc.spilled":           3,
+		"alloc.wc.max_rss_bytes":     32 << 20,
+		"alloc.wc.user_cpu_ns":       5e6,
+		"alloc.total.wall_ns":        236367,
+		"rusage.max_rss_bytes":       64 << 20,
+		"rusage.user_cpu_ns":         9e6,
+		"rusage.sys_cpu_ns":          2e6,
+		"rusage.gc.cycles":           5,
+		"rusage.gc.heap_alloc_bytes": 1 << 20,
+	}
+	for name, v := range want {
+		if got, ok := rec.Series[name]; !ok || got != v {
+			t.Errorf("series[%q] = %v (present=%v), want %v", name, got, ok, v)
+		}
+	}
+}
+
+// TestExtractV0Fallback pins the compatibility guarantee: the committed
+// pre-observatory snapshots (BENCH_2.json here, read from the repo root)
+// stay ingestible, taking their identity from the caller's fallback.
+func TestExtractV0Fallback(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_2.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2026, 7, 29, 14, 38, 32, 0, time.UTC)
+	rec, err := Extract(data, Meta{Commit: "seedsha", Time: at})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SchemaVersion != 0 {
+		t.Errorf("v0 fallback schema_version = %d, want 0", rec.SchemaVersion)
+	}
+	if rec.Commit != "seedsha" || !rec.Time.Equal(at) {
+		t.Errorf("fallback identity not applied: %+v", rec.Meta)
+	}
+	// The historical document must yield the headline series.
+	for _, name := range []string{"phase.scan.ns", "alloc.total.wall_ns", "quality.fpppp.instr_ratio"} {
+		if _, ok := rec.Series[name]; !ok {
+			t.Errorf("v0 extraction missing %q (have %d series)", name, len(rec.Series))
+		}
+	}
+	// And none of the v1-only resource series.
+	if _, ok := rec.Series["rusage.max_rss_bytes"]; ok {
+		t.Error("v0 document grew rusage series from nowhere")
+	}
+}
+
+func TestExtractRejectsEmptyAndGarbage(t *testing.T) {
+	if _, err := Extract([]byte(`{}`), Meta{}); err == nil {
+		t.Error("empty document accepted")
+	}
+	if _, err := Extract([]byte(`not json`), Meta{}); err == nil {
+		t.Error("garbage accepted")
+	}
+}

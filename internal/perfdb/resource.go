@@ -1,0 +1,74 @@
+package perfdb
+
+import "runtime/metrics"
+
+// Resources is a point-in-time resource snapshot of the bench process:
+// OS-level accounting from getrusage (max RSS, user/system CPU) plus GC
+// accounting from runtime/metrics. Benchmark drivers snapshot before and
+// after a section and store the Sub delta, so every stored point
+// attributes cost to a phase *and* a resource — a regression that moves
+// sys_cpu_ns but not user_cpu_ns reads very differently from one that
+// moves gc_cpu_ns.
+type Resources struct {
+	// MaxRSSBytes is the process high-water resident set size. It is a
+	// monotone high-water mark, not a rate: Sub keeps the endpoint value
+	// rather than differencing it.
+	MaxRSSBytes int64 `json:"max_rss_bytes"`
+	// UserCPUNs and SysCPUNs are cumulative CPU time in user and kernel
+	// mode (all threads).
+	UserCPUNs int64 `json:"user_cpu_ns"`
+	SysCPUNs  int64 `json:"sys_cpu_ns"`
+	// GCCycles is the cumulative completed GC cycle count
+	// (/gc/cycles/total); GCCPUNs the estimated cumulative CPU spent in
+	// GC (/cpu/classes/gc/total); HeapAllocBytes the cumulative bytes
+	// allocated on the heap (/gc/heap/allocs), frees not subtracted.
+	GCCycles       uint64 `json:"gc_cycles"`
+	GCCPUNs        int64  `json:"gc_cpu_ns"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+}
+
+// gcSampleNames are read in one metrics.Read batch; all three exist
+// since go1.20, but each is still guarded against KindBad so a runtime
+// that drops one degrades to zero instead of panicking.
+var gcSampleNames = []string{
+	"/gc/cycles/total:gc-cycles",
+	"/cpu/classes/gc/total:cpu-seconds",
+	"/gc/heap/allocs:bytes",
+}
+
+// ReadResources snapshots the current process. The rusage half is
+// platform-gated (rusage_unix.go); elsewhere those fields stay zero and
+// the GC half still works.
+func ReadResources() Resources {
+	var r Resources
+	readRusage(&r)
+	samples := make([]metrics.Sample, len(gcSampleNames))
+	for i, name := range gcSampleNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() == metrics.KindUint64 {
+		r.GCCycles = samples[0].Value.Uint64()
+	}
+	if samples[1].Value.Kind() == metrics.KindFloat64 {
+		r.GCCPUNs = int64(samples[1].Value.Float64() * 1e9)
+	}
+	if samples[2].Value.Kind() == metrics.KindUint64 {
+		r.HeapAllocBytes = samples[2].Value.Uint64()
+	}
+	return r
+}
+
+// Sub returns the delta from start to r for the cumulative counters;
+// MaxRSSBytes keeps r's value, because a high-water mark has no
+// meaningful difference (the peak may predate start).
+func (r Resources) Sub(start Resources) Resources {
+	return Resources{
+		MaxRSSBytes:    r.MaxRSSBytes,
+		UserCPUNs:      r.UserCPUNs - start.UserCPUNs,
+		SysCPUNs:       r.SysCPUNs - start.SysCPUNs,
+		GCCycles:       r.GCCycles - start.GCCycles,
+		GCCPUNs:        r.GCCPUNs - start.GCCPUNs,
+		HeapAllocBytes: r.HeapAllocBytes - start.HeapAllocBytes,
+	}
+}

@@ -1,0 +1,45 @@
+package perfdb
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestReadResources pins the resource-attribution contract on unix: a
+// live process has a nonzero resident set and accumulates user CPU, and
+// deltas behave (cumulative counters difference, the RSS high-water mark
+// carries through).
+func TestReadResources(t *testing.T) {
+	start := ReadResources()
+	if runtime.GOOS == "linux" || runtime.GOOS == "darwin" {
+		if start.MaxRSSBytes <= 0 {
+			t.Errorf("MaxRSSBytes = %d, want > 0", start.MaxRSSBytes)
+		}
+		// A test process has spent *some* CPU by the time it runs this.
+		if start.UserCPUNs <= 0 && start.SysCPUNs <= 0 {
+			t.Errorf("cpu time zero: user=%d sys=%d", start.UserCPUNs, start.SysCPUNs)
+		}
+	}
+	if start.HeapAllocBytes == 0 {
+		t.Error("HeapAllocBytes = 0; runtime/metrics read failed")
+	}
+
+	// Allocate enough to move the cumulative heap counter, then check
+	// the delta arithmetic.
+	sink := make([][]byte, 64)
+	for i := range sink {
+		sink[i] = make([]byte, 1<<16)
+	}
+	runtime.KeepAlive(sink)
+	end := ReadResources()
+	d := end.Sub(start)
+	if d.HeapAllocBytes < 64*(1<<16) {
+		t.Errorf("heap delta = %d, want >= %d", d.HeapAllocBytes, 64*(1<<16))
+	}
+	if d.MaxRSSBytes != end.MaxRSSBytes {
+		t.Errorf("Sub must keep the RSS high-water mark: %d != %d", d.MaxRSSBytes, end.MaxRSSBytes)
+	}
+	if d.UserCPUNs < 0 || d.SysCPUNs < 0 || d.GCCPUNs < 0 {
+		t.Errorf("negative cpu delta: %+v", d)
+	}
+}

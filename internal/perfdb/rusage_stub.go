@@ -1,0 +1,7 @@
+//go:build !unix
+
+package perfdb
+
+// readRusage is a no-op where getrusage is unavailable: the rusage
+// fields of Resources stay zero and only the GC half is populated.
+func readRusage(*Resources) {}

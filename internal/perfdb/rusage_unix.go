@@ -1,0 +1,29 @@
+//go:build unix
+
+package perfdb
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// readRusage fills the OS-accounting half of a Resources snapshot from
+// getrusage(RUSAGE_SELF). ru_maxrss is kilobytes on Linux and most BSDs
+// but bytes on Darwin.
+func readRusage(r *Resources) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return
+	}
+	scale := int64(1024)
+	if runtime.GOOS == "darwin" {
+		scale = 1
+	}
+	r.MaxRSSBytes = int64(ru.Maxrss) * scale
+	r.UserCPUNs = timevalNs(ru.Utime)
+	r.SysCPUNs = timevalNs(ru.Stime)
+}
+
+func timevalNs(tv syscall.Timeval) int64 {
+	return int64(tv.Sec)*1e9 + int64(tv.Usec)*1e3
+}

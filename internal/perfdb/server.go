@@ -1,0 +1,214 @@
+package perfdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/perfdb/stats"
+)
+
+// maxIngestBytes bounds one POST /ingest body; a full -all -json
+// document is ~100 KB, so 32 MiB is generous without being a DoS vector.
+const maxIngestBytes = 32 << 20
+
+// Server is the lsra-perfd HTTP surface over one Store:
+//
+//	POST /ingest        store one lsra-bench -json document
+//	GET  /series        list metrics; ?metric=NAME returns its points
+//	GET  /commits       stored runs in time order
+//	GET  /regressions   changepoint flags across every series
+//	GET  /healthz       liveness
+//	GET  /              self-contained HTML dashboard
+//
+// All responses are JSON except the dashboard. The zero Regression
+// parameters are the benchguard defaults, overridable per request.
+type Server struct {
+	store *Store
+	mux   *http.ServeMux
+}
+
+// NewServer wraps store in the HTTP API.
+func NewServer(store *Store) *Server {
+	s := &Server{store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /series", s.handleSeries)
+	s.mux.HandleFunc("GET /commits", s.handleCommits)
+	s.mux.HandleFunc("GET /regressions", s.handleRegressions)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	s.mux.HandleFunc("GET /{$}", s.handleDashboard)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleIngest accepts one lsra-bench -json document. Unstamped (v0)
+// documents are accepted with the request arrival time as identity, so
+// ad-hoc `lsra-bench -all -json | curl -d@- /ingest` pipelines work even
+// from trees without git.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxIngestBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxIngestBytes {
+		writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxIngestBytes)
+		return
+	}
+	fallback := Meta{Time: time.Now().UTC().Truncate(time.Second)}
+	rec, err := Extract(body, fallback)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rec.Source = r.URL.Query().Get("source")
+	if rec.Source == "" {
+		rec.Source = "ingest"
+	}
+	added, err := s.store.Append(rec)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "append: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"added":          added,
+		"commit":         rec.Commit,
+		"time_utc":       rec.Time,
+		"schema_version": rec.Meta.SchemaVersion,
+		"series_count":   len(rec.Series),
+	})
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	metric := r.URL.Query().Get("metric")
+	if metric == "" {
+		writeJSON(w, http.StatusOK, map[string]any{"metrics": s.store.Metrics()})
+		return
+	}
+	pts := s.store.Series(metric)
+	if len(pts) == 0 {
+		writeErr(w, http.StatusNotFound, "no points for metric %q", metric)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"metric": metric, "points": pts})
+}
+
+func (s *Server) handleCommits(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"commits": s.store.Commits()})
+}
+
+// Regression is one flagged changepoint of one metric: the series'
+// median shifted by Delta at Commit/Time, with Mann-Whitney p-value P
+// over Window points each side.
+type Regression struct {
+	Metric       string    `json:"metric"`
+	Time         time.Time `json:"time_utc"`
+	Commit       string    `json:"commit,omitempty"`
+	BeforeMedian float64   `json:"before_median"`
+	AfterMedian  float64   `json:"after_median"`
+	// Delta is the relative median shift; a jump off a zero baseline has
+	// no finite relative delta, so it is reported as FromZero with Delta
+	// zeroed (JSON cannot carry ±Inf).
+	Delta    float64 `json:"delta"`
+	FromZero bool    `json:"from_zero,omitempty"`
+	P        float64 `json:"p"`
+	Window   int     `json:"window"`
+}
+
+// regressionParams are the changepoint knobs with benchguard-aligned
+// defaults: window 4 is the smallest with Mann-Whitney power at α=0.05,
+// threshold 0.10 matches the allocs/op gate.
+type regressionParams struct {
+	window    int
+	alpha     float64
+	threshold float64
+}
+
+func parseRegressionParams(r *http.Request) (regressionParams, error) {
+	p := regressionParams{window: 4, alpha: 0.05, threshold: 0.10}
+	q := r.URL.Query()
+	var err error
+	if v := q.Get("window"); v != "" {
+		if p.window, err = strconv.Atoi(v); err != nil || p.window < 2 {
+			return p, fmt.Errorf("bad window %q", v)
+		}
+	}
+	if v := q.Get("alpha"); v != "" {
+		if p.alpha, err = strconv.ParseFloat(v, 64); err != nil || p.alpha <= 0 || p.alpha >= 1 {
+			return p, fmt.Errorf("bad alpha %q", v)
+		}
+	}
+	if v := q.Get("threshold"); v != "" {
+		if p.threshold, err = strconv.ParseFloat(v, 64); err != nil || p.threshold < 0 {
+			return p, fmt.Errorf("bad threshold %q", v)
+		}
+	}
+	return p, nil
+}
+
+// regressions runs the changepoint detector over every stored series.
+func (s *Server) regressions(p regressionParams) []Regression {
+	out := []Regression{}
+	for _, mi := range s.store.Metrics() {
+		pts := s.store.Series(mi.Name)
+		xs := make([]float64, len(pts))
+		for i, pt := range pts {
+			xs[i] = pt.Value
+		}
+		for _, cp := range stats.Changepoints(xs, p.window, p.alpha, p.threshold) {
+			at := pts[cp.Index]
+			reg := Regression{
+				Metric:       mi.Name,
+				Time:         at.Time,
+				Commit:       at.Commit,
+				BeforeMedian: cp.BeforeMedian,
+				AfterMedian:  cp.AfterMedian,
+				Delta:        cp.Delta,
+				P:            cp.P,
+				Window:       p.window,
+			}
+			if math.IsInf(reg.Delta, 0) {
+				reg.FromZero, reg.Delta = true, 0
+			}
+			out = append(out, reg)
+		}
+	}
+	return out
+}
+
+func (s *Server) handleRegressions(w http.ResponseWriter, r *http.Request) {
+	p, err := parseRegressionParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	regs := s.regressions(p)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"window": p.window, "alpha": p.alpha, "threshold": p.threshold,
+		"regressions": regs,
+	})
+}
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	s.RenderDashboard(w)
+}

@@ -1,0 +1,192 @@
+// Package stats holds the small statistical toolbox shared by the
+// benchmark-regression gate (cmd/benchguard) and the perf observatory
+// (internal/perfdb): medians, the two-sided Mann-Whitney U test, and a
+// sliding-window changepoint detector built on it.
+//
+// The package exists so the CI gate and the longitudinal dashboard flag
+// regressions with the *same* arithmetic — a run that trips the gate is
+// exactly a run the observatory would mark as a changepoint, and vice
+// versa. Keep it dependency-free; both importers are leaf binaries.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Median returns the middle of a sorted copy of xs, NaN when empty.
+func Median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MannWhitneyP returns the two-sided p-value of the Mann-Whitney U test
+// for samples a vs b, using the normal approximation with tie correction
+// and a continuity correction. For the small sample counts CI uses
+// (-count 6, observatory windows of 4–8) the approximation is
+// conservative enough for gating; exactness matters less than the
+// median-delta threshold it is combined with.
+func MannWhitneyP(a, b []float64) float64 {
+	n1, n2 := float64(len(a)), float64(len(b))
+	if n1 == 0 || n2 == 0 {
+		return 1
+	}
+	type obs struct {
+		v     float64
+		fromA bool
+	}
+	all := make([]obs, 0, len(a)+len(b))
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Rank with midranks for ties, accumulating the tie correction.
+	ranks := make([]float64, len(all))
+	tieCorr := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		r := float64(i+j+1) / 2 // average 1-based rank of the tied run
+		for k := i; k < j; k++ {
+			ranks[k] = r
+		}
+		t := float64(j - i)
+		tieCorr += t*t*t - t
+		i = j
+	}
+	var r1 float64
+	for i, o := range all {
+		if o.fromA {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - n1*(n1+1)/2
+	mu := n1 * n2 / 2
+	n := n1 + n2
+	sigma2 := n1 * n2 / 12 * ((n + 1) - tieCorr/(n*(n-1)))
+	if sigma2 <= 0 {
+		// All observations identical: no evidence of a difference.
+		return 1
+	}
+	z := (u1 - mu) / math.Sqrt(sigma2)
+	if z > 0 {
+		z = z - 0.5/math.Sqrt(sigma2) // continuity correction
+	} else if z < 0 {
+		z = z + 0.5/math.Sqrt(sigma2)
+	}
+	p := 2 * (1 - normCDF(math.Abs(z)))
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+func normCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// Changepoint marks a split in a time-ordered series where the windows
+// on either side differ both significantly (Mann-Whitney) and
+// substantially (relative median delta beyond a threshold).
+type Changepoint struct {
+	// Index is the first point of the "after" regime: the series shifted
+	// between Index-1 and Index.
+	Index int
+	// BeforeMedian and AfterMedian are the window medians either side of
+	// the split.
+	BeforeMedian, AfterMedian float64
+	// Delta is (after-before)/before; +Inf when the before median is
+	// zero and the after median is not (a from-zero jump is always
+	// substantial — a zero baseline is a hard-won floor).
+	Delta float64
+	// P is the two-sided Mann-Whitney p-value of the split.
+	P float64
+}
+
+// Changepoints scans a time-ordered series with a sliding split: at each
+// index i it compares the window points before i against the window
+// after (inclusive), flagging splits where p < alpha and |Delta| >
+// threshold. Overlapping candidate splits are collapsed to the locally
+// strongest one (smallest p, largest |Delta| on ties) so one regime
+// shift reports one changepoint, not window-many. The window is clamped
+// to half the series length; series shorter than four points can never
+// reach significance and return nil.
+func Changepoints(xs []float64, window int, alpha, threshold float64) []Changepoint {
+	if window < 1 {
+		window = 1
+	}
+	if half := len(xs) / 2; window > half {
+		window = half
+	}
+	if window < 2 {
+		return nil // Mann-Whitney on 1-point windows has no power
+	}
+	var cands []Changepoint
+	for i := window; i+window <= len(xs); i++ {
+		before, after := xs[i-window:i], xs[i:i+window]
+		p := MannWhitneyP(before, after)
+		if p >= alpha {
+			continue
+		}
+		bm, am := Median(before), Median(after)
+		var delta float64
+		switch {
+		case bm != 0:
+			delta = (am - bm) / math.Abs(bm)
+		case am != 0:
+			delta = math.Inf(sign(am))
+		}
+		if math.Abs(delta) <= threshold {
+			continue
+		}
+		cands = append(cands, Changepoint{Index: i, BeforeMedian: bm, AfterMedian: am, Delta: delta, P: p})
+	}
+	return suppressNeighbors(cands, window)
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// suppressNeighbors keeps, within every run of candidates closer than
+// window to each other, only the strongest split.
+func suppressNeighbors(cands []Changepoint, window int) []Changepoint {
+	var out []Changepoint
+	for i := 0; i < len(cands); {
+		best := cands[i]
+		j := i + 1
+		for j < len(cands) && cands[j].Index-cands[j-1].Index < window {
+			if stronger(cands[j], best) {
+				best = cands[j]
+			}
+			j++
+		}
+		out = append(out, best)
+		i = j
+	}
+	return out
+}
+
+func stronger(a, b Changepoint) bool {
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	return math.Abs(a.Delta) > math.Abs(b.Delta)
+}

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median odd = %v", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("median even = %v", m)
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Fatal("median of empty not NaN")
+	}
+}
+
+func TestMannWhitney(t *testing.T) {
+	// Clearly separated samples: significant.
+	a := []float64{100, 101, 99, 100, 102, 98}
+	b := []float64{150, 151, 149, 150, 152, 148}
+	if p := MannWhitneyP(a, b); p >= 0.05 {
+		t.Fatalf("separated samples p = %v, want < 0.05", p)
+	}
+	// Identical samples: no evidence.
+	if p := MannWhitneyP(a, a); p < 0.5 {
+		t.Fatalf("identical samples p = %v, want ~1", p)
+	}
+	// Heavily overlapping samples: not significant.
+	c := []float64{100, 103, 97, 101, 99, 102}
+	d := []float64{101, 98, 104, 100, 102, 99}
+	if p := MannWhitneyP(c, d); p < 0.05 {
+		t.Fatalf("overlapping samples p = %v, want >= 0.05", p)
+	}
+	// Degenerate inputs must not panic or claim significance.
+	if p := MannWhitneyP(nil, b); p != 1 {
+		t.Fatalf("empty sample p = %v", p)
+	}
+	if p := MannWhitneyP([]float64{5, 5, 5}, []float64{5, 5, 5}); p != 1 {
+		t.Fatalf("all-ties p = %v", p)
+	}
+}
+
+// TestZeroBaselineRegression pins the from-zero rule: a benchmark whose
+// baseline hit 0 allocs/op must trip the gate when allocations return,
+// even though no relative delta exists.
+func TestZeroBaselineRegression(t *testing.T) {
+	zero := []float64{0, 0, 0, 0, 0, 0}
+	back := []float64{10000, 10001, 9999, 10000, 10002, 9998}
+	if p := MannWhitneyP(zero, back); p >= 0.05 {
+		t.Fatalf("from-zero jump not significant: p=%v", p)
+	}
+	// Still-zero stays quiet.
+	if p := MannWhitneyP(zero, zero); p < 0.5 {
+		t.Fatalf("all-zero vs all-zero p=%v", p)
+	}
+}
+
+func TestChangepointsFlagsStep(t *testing.T) {
+	// Flat at ~100 then a clean step to ~150 at index 6.
+	xs := []float64{100, 101, 99, 100, 102, 98, 150, 151, 149, 150, 152, 148}
+	cps := Changepoints(xs, 4, 0.05, 0.10)
+	if len(cps) != 1 {
+		t.Fatalf("changepoints = %+v, want exactly one", cps)
+	}
+	cp := cps[0]
+	if cp.Index != 6 {
+		t.Errorf("Index = %d, want 6", cp.Index)
+	}
+	if cp.BeforeMedian != 99.5 || cp.AfterMedian != 150 {
+		t.Errorf("medians = %v -> %v, want 99.5 -> 150", cp.BeforeMedian, cp.AfterMedian)
+	}
+	if cp.Delta < 0.45 || cp.Delta > 0.55 {
+		t.Errorf("Delta = %v, want ~0.5", cp.Delta)
+	}
+	if cp.P >= 0.05 {
+		t.Errorf("P = %v, want < 0.05", cp.P)
+	}
+}
+
+func TestChangepointsQuietCases(t *testing.T) {
+	// A flat noisy series has no changepoints.
+	flat := []float64{100, 103, 97, 101, 99, 102, 101, 98, 104, 100, 102, 99}
+	if cps := Changepoints(flat, 4, 0.05, 0.10); len(cps) != 0 {
+		t.Fatalf("flat series flagged: %+v", cps)
+	}
+	// A substantial but sub-threshold drift stays quiet.
+	drift := []float64{100, 101, 99, 100, 102, 98, 104, 105, 103, 104, 106, 102}
+	if cps := Changepoints(drift, 4, 0.05, 0.10); len(cps) != 0 {
+		t.Fatalf("sub-threshold drift flagged: %+v", cps)
+	}
+	// Too-short series (the two-point backfill seed) can never flag.
+	if cps := Changepoints([]float64{1, 100}, 4, 0.05, 0.10); cps != nil {
+		t.Fatalf("2-point series flagged: %+v", cps)
+	}
+	if cps := Changepoints(nil, 4, 0.05, 0.10); cps != nil {
+		t.Fatalf("empty series flagged: %+v", cps)
+	}
+}
+
+func TestChangepointsFromZero(t *testing.T) {
+	// allocs/op leaving a zero floor: no relative delta exists, but the
+	// split must still be flagged (+Inf delta beats any threshold).
+	xs := []float64{0, 0, 0, 0, 0, 7000, 7001, 6999, 7000, 7002}
+	cps := Changepoints(xs, 4, 0.05, 0.10)
+	if len(cps) != 1 {
+		t.Fatalf("changepoints = %+v, want one", cps)
+	}
+	if !math.IsInf(cps[0].Delta, 1) {
+		t.Errorf("Delta = %v, want +Inf", cps[0].Delta)
+	}
+}
+
+func TestChangepointsWindowClamp(t *testing.T) {
+	// Window larger than half the series clamps rather than scanning
+	// nothing: 8 points with window 16 behaves like window 4.
+	xs := []float64{100, 101, 99, 100, 150, 151, 149, 150}
+	cps := Changepoints(xs, 16, 0.05, 0.10)
+	if len(cps) != 1 || cps[0].Index != 4 {
+		t.Fatalf("clamped changepoints = %+v, want one at index 4", cps)
+	}
+}

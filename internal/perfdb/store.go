@@ -1,0 +1,206 @@
+package perfdb
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Store is the append-only, file-backed time-series store: one JSON
+// record per line (JSONL). Append-only is the whole durability story —
+// a crash mid-write can only ever damage the final line, so Open repairs
+// exactly that case (truncating a partial tail record) and refuses
+// anything worse. Records arrive in whatever order CI, backfills and
+// laptops produce them; queries sort by run timestamp, so out-of-order
+// ingest is normal, not an error.
+type Store struct {
+	mu   sync.Mutex
+	path string
+	recs []Record
+	keys map[string]bool
+}
+
+// Open loads (or creates) the store at path. A truncated tail record —
+// the one failure mode an append-only log can self-inflict — is cut off
+// and reported via the returned repair count; corruption followed by
+// further valid records means something other than a torn append wrote
+// the file, and that is an error, not something to silently eat.
+func Open(path string) (*Store, int, error) {
+	s := &Store{path: path, keys: map[string]bool{}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	offset := 0 // byte offset of the first undamaged-so-far line
+	corruptAt := -1
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		lineLen := len(line) + 1 // the split consumed the newline
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			offset += lineLen
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(trimmed, &rec); err != nil {
+			if corruptAt < 0 {
+				corruptAt = offset
+			}
+			offset += lineLen
+			continue
+		}
+		if corruptAt >= 0 {
+			return nil, 0, fmt.Errorf("perfdb: %s: corrupt record at byte %d followed by valid data (not a torn tail; refusing to repair)", path, corruptAt)
+		}
+		s.insert(rec)
+		offset += lineLen
+	}
+	repaired := 0
+	if corruptAt >= 0 {
+		if err := os.Truncate(path, int64(corruptAt)); err != nil {
+			return nil, 0, fmt.Errorf("perfdb: %s: truncating torn tail at byte %d: %w", path, corruptAt, err)
+		}
+		repaired = 1
+	}
+	return s, repaired, nil
+}
+
+// insert adds rec to the in-memory view if its key is new.
+func (s *Store) insert(rec Record) bool {
+	k := rec.Key()
+	if s.keys[k] {
+		return false
+	}
+	s.keys[k] = true
+	s.recs = append(s.recs, rec)
+	return true
+}
+
+// Append durably adds one record. Re-appending a record with the same
+// key (commit+time+host+source) is a no-op returning false, which makes
+// backfilling the committed seeds idempotent across CI runs.
+func (s *Store) Append(rec *Record) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.keys[rec.Key()] {
+		return false, nil
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return false, err
+	}
+	f, err := os.OpenFile(s.path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return false, err
+	}
+	w := bufio.NewWriter(f)
+	w.Write(line)
+	w.WriteByte('\n')
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return false, err
+	}
+	if err := f.Close(); err != nil {
+		return false, err
+	}
+	s.insert(*rec)
+	return true, nil
+}
+
+// Len reports the number of stored records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Records returns every record sorted by run time (ties broken by
+// commit then source, so the order is deterministic under out-of-order
+// ingest). The slice is a copy; the Series maps are shared and must be
+// treated as read-only.
+func (s *Store) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]Record(nil), s.recs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Time.Equal(out[j].Time) {
+			return out[i].Time.Before(out[j].Time)
+		}
+		if out[i].Commit != out[j].Commit {
+			return out[i].Commit < out[j].Commit
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
+
+// Series returns the time-ordered points of one metric; records that
+// never measured it contribute nothing.
+func (s *Store) Series(metric string) []Point {
+	var pts []Point
+	for _, rec := range s.Records() {
+		if v, ok := rec.Series[metric]; ok {
+			pts = append(pts, Point{Time: rec.Time, Commit: rec.Commit, Source: rec.Source, Value: v})
+		}
+	}
+	return pts
+}
+
+// Metrics returns every series name in the store with its point count,
+// sorted by name.
+func (s *Store) Metrics() []MetricInfo {
+	counts := map[string]int{}
+	for _, rec := range s.Records() {
+		for name := range rec.Series {
+			counts[name]++
+		}
+	}
+	out := make([]MetricInfo, 0, len(counts))
+	for name, n := range counts {
+		out = append(out, MetricInfo{Name: name, Points: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MetricInfo summarizes one series for listings.
+type MetricInfo struct {
+	Name   string `json:"name"`
+	Points int    `json:"points"`
+}
+
+// CommitInfo summarizes one stored run for the /commits endpoint.
+type CommitInfo struct {
+	Commit        string    `json:"commit,omitempty"`
+	Time          time.Time `json:"time_utc"`
+	SchemaVersion int       `json:"schema_version"`
+	GoVersion     string    `json:"go_version,omitempty"`
+	Host          string    `json:"host,omitempty"`
+	Source        string    `json:"source,omitempty"`
+	SeriesCount   int       `json:"series_count"`
+}
+
+// Commits lists the stored runs in time order.
+func (s *Store) Commits() []CommitInfo {
+	recs := s.Records()
+	out := make([]CommitInfo, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, CommitInfo{
+			Commit:        r.Commit,
+			Time:          r.Time,
+			SchemaVersion: r.Meta.SchemaVersion,
+			GoVersion:     r.GoVersion,
+			Host:          r.Host,
+			Source:        r.Source,
+			SeriesCount:   len(r.Series),
+		})
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package perfdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testRecord(commit string, t time.Time, series map[string]float64) *Record {
+	return &Record{
+		Meta: Meta{
+			SchemaVersion: SchemaVersion,
+			Commit:        commit,
+			Time:          t,
+			GoVersion:     "go1.24.0",
+			Host:          "linux/amd64/test/8cpu",
+		},
+		Source: "test",
+		Series: series,
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "perfdb.jsonl")
+	s, repaired, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired != 0 || s.Len() != 0 {
+		t.Fatalf("fresh store: repaired=%d len=%d", repaired, s.Len())
+	}
+	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		rec := testRecord(fmt.Sprintf("c%d", i), base.Add(time.Duration(i)*time.Hour),
+			map[string]float64{"phase.scan.ns": float64(100 + i), "alloc.total.wall_ns": float64(1000 * (i + 1))})
+		added, err := s.Append(rec)
+		if err != nil || !added {
+			t.Fatalf("append %d: added=%v err=%v", i, added, err)
+		}
+	}
+
+	// Re-appending an identical record is an idempotent no-op.
+	dup := testRecord("c0", base, map[string]float64{"phase.scan.ns": 100})
+	if added, err := s.Append(dup); err != nil || added {
+		t.Fatalf("duplicate append: added=%v err=%v", added, err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len after dup = %d, want 3", s.Len())
+	}
+
+	// Reopen and query: everything survives the file round-trip.
+	s2, repaired, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired != 0 || s2.Len() != 3 {
+		t.Fatalf("reopen: repaired=%d len=%d", repaired, s2.Len())
+	}
+	pts := s2.Series("phase.scan.ns")
+	if len(pts) != 3 {
+		t.Fatalf("series points = %d, want 3", len(pts))
+	}
+	for i, p := range pts {
+		if p.Value != float64(100+i) || p.Commit != fmt.Sprintf("c%d", i) {
+			t.Errorf("point %d = %+v", i, p)
+		}
+	}
+	if got := s2.Metrics(); len(got) != 2 || got[0].Name != "alloc.total.wall_ns" || got[0].Points != 3 {
+		t.Errorf("metrics = %+v", got)
+	}
+	if commits := s2.Commits(); len(commits) != 3 || commits[0].Commit != "c0" || commits[0].SeriesCount != 2 {
+		t.Errorf("commits = %+v", commits)
+	}
+}
+
+func TestStoreCorruptTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "perfdb.jsonl")
+	s, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 2; i++ {
+		if _, err := s.Append(testRecord(fmt.Sprintf("c%d", i), base.Add(time.Duration(i)*time.Hour),
+			map[string]float64{"m": float64(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a torn append: half a JSON record with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"schema_version":1,"commit":"c2","time_`)
+	f.Close()
+
+	s2, repaired, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	if repaired != 1 {
+		t.Errorf("repaired = %d, want 1", repaired)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("len after repair = %d, want 2", s2.Len())
+	}
+	// The repair truncated the torn bytes: appending works and a third
+	// reopen sees clean data.
+	if _, err := s2.Append(testRecord("c2", base.Add(2*time.Hour), map[string]float64{"m": 2})); err != nil {
+		t.Fatal(err)
+	}
+	s3, repaired, err := Open(path)
+	if err != nil || repaired != 0 || s3.Len() != 3 {
+		t.Fatalf("reopen after repair+append: len=%d repaired=%d err=%v", s3.Len(), repaired, err)
+	}
+}
+
+func TestStoreRefusesMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "perfdb.jsonl")
+	s, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 2; i++ {
+		if _, err := s.Append(testRecord(fmt.Sprintf("c%d", i), base.Add(time.Duration(i)*time.Hour),
+			map[string]float64{"m": float64(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mangle the FIRST record: valid data follows, so this is not a torn
+	// tail and must not be silently repaired away.
+	data[2] = 0
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path); err == nil {
+		t.Fatal("mid-file corruption silently accepted")
+	}
+}
+
+func TestStoreOutOfOrderIngest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "perfdb.jsonl")
+	s, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	// Ingest newest-first: a backfill after live records does exactly this.
+	for _, i := range []int{3, 0, 2, 1} {
+		if _, err := s.Append(testRecord(fmt.Sprintf("c%d", i), base.Add(time.Duration(i)*time.Hour),
+			map[string]float64{"m": float64(i * 10)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(st *Store) {
+		t.Helper()
+		pts := st.Series("m")
+		if len(pts) != 4 {
+			t.Fatalf("points = %d, want 4", len(pts))
+		}
+		for i, p := range pts {
+			if p.Value != float64(i*10) {
+				t.Fatalf("series not time-ordered: %+v", pts)
+			}
+		}
+		if commits := st.Commits(); commits[0].Commit != "c0" || commits[3].Commit != "c3" {
+			t.Fatalf("commits not time-ordered: %+v", commits)
+		}
+	}
+	check(s)
+	// Ordering is a query property, not a file property: reopen keeps it.
+	s2, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(s2)
+}
