@@ -66,6 +66,10 @@ type benchOutput struct {
 	// workload replayed over HTTP against an in-process lsra-served,
 	// cold pass (cache misses) vs. warm passes (cache hits).
 	Serve *serveBench `json:"serve,omitempty"`
+	// Cluster is the sharded-service measurement: consistent-hash
+	// routing over three nodes, the hedged-request tail-latency duel,
+	// cost-aware disk admission, and the restart-warm hit rate.
+	Cluster *clusterBench `json:"cluster,omitempty"`
 	// Resources is the process-wide resource delta over all selected
 	// sections: getrusage (max RSS, user/system CPU) plus GC counters.
 	Resources *perfdb.Resources `json:"resources,omitempty"`
@@ -202,6 +206,7 @@ func main() {
 		sweep   = flag.Bool("sweep", false, "registers-vs-quality sweep across machine shapes")
 		sweepB  = flag.String("sweep-bench", "eqntott", "benchmark the -sweep runs")
 		srv     = flag.Bool("serve", false, "allocation-service steady-state benchmark (cold vs. warm cache)")
+		clu     = flag.Bool("cluster", false, "sharded-cluster benchmark (routing, hedging, persistent tier)")
 		allocF  = flag.Bool("alloc", false, "per-benchmark engine allocation reports")
 		all     = flag.Bool("all", false, "run everything")
 		scale   = flag.Float64("scale", 1.0, "workload scale multiplier")
@@ -213,9 +218,9 @@ func main() {
 	)
 	flag.Parse()
 	if *all {
-		*t1, *t2, *f3, *t3, *abl, *sweep, *srv, *allocF = true, true, true, true, true, true, true, true
+		*t1, *t2, *f3, *t3, *abl, *sweep, *srv, *clu, *allocF = true, true, true, true, true, true, true, true, true
 	}
-	if !*t1 && !*t2 && !*f3 && !*t3 && !*abl && !*sweep && !*srv && !*allocF {
+	if !*t1 && !*t2 && !*f3 && !*t3 && !*abl && !*sweep && !*srv && !*clu && !*allocF {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -265,6 +270,11 @@ func main() {
 	}
 	if *srv {
 		if out.Serve, err = runServeBench("x86-8", 3); err != nil {
+			die(err)
+		}
+	}
+	if *clu {
+		if out.Cluster, err = runClusterBench("x86-8"); err != nil {
 			die(err)
 		}
 	}
@@ -393,6 +403,24 @@ func printText(out *benchOutput) {
 		fmt.Printf("%-10s %-10s %9d %7d %14d %14d %7.1fx %8.3f\n",
 			s.Machine, s.Algorithm, s.Programs, s.Rounds,
 			s.ColdNsPerProgram, s.WarmNsPerProgram, s.Speedup, s.CacheHitRate)
+		fmt.Println()
+	}
+
+	if out.Cluster != nil {
+		cb := out.Cluster
+		fmt.Println("Cluster: 3-node consistent-hash fleet (hot/cold stream, per-node disk tiers)")
+		fmt.Printf("%-10s %6s %9s %14s %14s %9s %13s\n",
+			"machine", "nodes", "requests", "cold-ns/req", "warm-ns/req", "hit-rate", "restart-warm")
+		fmt.Printf("%-10s %6d %9d %14d %14d %8.3f %13.3f\n",
+			cb.Machine, cb.Nodes, cb.Requests,
+			cb.ColdNsPerRequest, cb.WarmNsPerRequest, cb.WarmHitRate, cb.RestartWarmHitRate)
+		fmt.Printf("  persist admission (default bar): %d admitted, %d rejected as too cheap\n",
+			cb.PersistAdmitted, cb.PersistRejectedCost)
+		fmt.Printf("  hedging vs one node stalled %v: p50 %v -> %v, p99 %v -> %v (%.1fx at p99, %d hedge wins)\n",
+			time.Duration(cb.StallNs),
+			time.Duration(cb.UnhedgedP50Ns).Round(time.Microsecond), time.Duration(cb.HedgedP50Ns).Round(time.Microsecond),
+			time.Duration(cb.UnhedgedP99Ns).Round(time.Microsecond), time.Duration(cb.HedgedP99Ns).Round(time.Microsecond),
+			cb.TailSpeedupP99, cb.HedgeWins)
 		fmt.Println()
 	}
 

@@ -1,18 +1,25 @@
-// Command lsra-client scripts against a running lsra-served daemon: it
-// posts textual IR programs for allocation and fetches service metrics.
+// Command lsra-client scripts against lsra-served daemons: it posts
+// textual IR programs for allocation and fetches service metrics.
 //
 //	lsra-client -addr http://localhost:7421 -machine alpha prog.ir
 //	cat prog.ir | lsra-client -machine tiny:6,4 -algo linearscan
 //	lsra-client -metrics
 //
+// -addr accepts a comma-separated node table; with more than one node
+// the client becomes cluster-aware (internal/cluster): requests route
+// by consistent hashing to the node whose cache owns them, fail over to
+// ring successors on node loss, and — with -hedge — race a duplicate to
+// the successor when the owner is slow. 429 + Retry-After responses are
+// always honored with bounded backoff rather than treated as failures.
+//
 // By default the allocated program is printed to stdout and a one-line
-// summary (cache status, candidates, spills, wall time) to stderr; -json
-// dumps the daemon's full AllocateResponse instead. Multiple input files
-// are sent as one batch request.
+// summary (serving node, cache status, candidates, spills, wall time)
+// to stderr; -json dumps the daemon's full AllocateResponse instead.
+// Multiple input files are sent as one batch request.
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -38,12 +46,17 @@ func shortKey(key string) string {
 
 func main() {
 	var (
-		addr    = flag.String("addr", "http://localhost:7421", "daemon base URL")
-		machine = flag.String("machine", "alpha", "machine spec (preset or tiny:<ints>,<floats>)")
-		algo    = flag.String("algo", "binpack", "allocator registry name")
-		jsonOut = flag.Bool("json", false, "print the full JSON response")
-		metrics = flag.Bool("metrics", false, "fetch /metrics instead of allocating")
-		timeout = flag.Duration("timeout", 60*time.Second, "request timeout")
+		addr     = flag.String("addr", "http://localhost:7421", "daemon base URL, or a comma-separated cluster node table")
+		machine  = flag.String("machine", "alpha", "machine spec (preset or tiny:<ints>,<floats>)")
+		algo     = flag.String("algo", "binpack", "allocator registry name")
+		priority = flag.String("priority", "", "scheduling class: interactive (default) or batch")
+		jsonOut  = flag.Bool("json", false, "print the full JSON response")
+		metrics  = flag.Bool("metrics", false, "fetch /metrics instead of allocating (from every node)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request timeout")
+
+		attempts = flag.Int("attempts", 0, "max distinct nodes to try per request (0 = client default)")
+		hedge    = flag.Duration("hedge", 0, "send a duplicate to the next node after this long (0 = no hedging)")
+		retries  = flag.Int("retries-429", 0, "re-sends per node after 429 + Retry-After (0 = client default)")
 	)
 	flag.Parse()
 
@@ -51,21 +64,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lsra-client:", err)
 		os.Exit(1)
 	}
-	client := &http.Client{Timeout: *timeout}
+	nodes := strings.Split(*addr, ",")
+	for i := range nodes {
+		nodes[i] = strings.TrimSpace(strings.TrimSuffix(nodes[i], "/"))
+	}
 
 	if *metrics {
-		resp, err := client.Get(*addr + "/metrics")
-		if err != nil {
-			die(err)
-		}
-		defer resp.Body.Close()
-		if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
-			die(err)
+		httpc := &http.Client{Timeout: *timeout}
+		for _, node := range nodes {
+			resp, err := httpc.Get(node + "/metrics")
+			if err != nil {
+				die(err)
+			}
+			if len(nodes) > 1 {
+				fmt.Printf("%s:\n", node)
+			}
+			_, err = io.Copy(os.Stdout, resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				die(err)
+			}
+			fmt.Println()
 		}
 		return
 	}
 
-	req := serve.AllocateRequest{Machine: *machine, Algorithm: *algo}
+	req := serve.AllocateRequest{Machine: *machine, Algorithm: *algo, Priority: *priority}
 	if flag.NArg() == 0 {
 		text, err := io.ReadAll(os.Stdin)
 		if err != nil {
@@ -82,33 +106,23 @@ func main() {
 		}
 	}
 
-	body, err := json.Marshal(&req)
+	cl := cluster.NewClient(cluster.ClientConfig{
+		Nodes:         nodes,
+		MaxAttempts:   *attempts,
+		HedgeDelay:    *hedge,
+		Max429Retries: *retries,
+		HTTPClient:    &http.Client{Timeout: *timeout},
+	})
+	out, node, err := cl.Allocate(context.Background(), req)
 	if err != nil {
 		die(err)
-	}
-	resp, err := client.Post(*addr+"/allocate", "application/json", bytes.NewReader(body))
-	if err != nil {
-		die(err)
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		die(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		var e serve.ErrorResponse
-		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			die(fmt.Errorf("%s: %s", resp.Status, e.Error))
-		}
-		die(fmt.Errorf("%s: %s", resp.Status, raw))
 	}
 	if *jsonOut {
-		os.Stdout.Write(raw)
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(out); err != nil {
+			die(err)
+		}
 		return
-	}
-	var out serve.AllocateResponse
-	if err := json.Unmarshal(raw, &out); err != nil {
-		die(err)
 	}
 	for i, res := range out.Results {
 		if i > 0 {
@@ -120,8 +134,8 @@ func main() {
 			status = "cache hit"
 		}
 		rep := res.Report
-		fmt.Fprintf(os.Stderr, "lsra-client: %s (%s on %s): %s, %d procs, %d candidates, %d spilled, wall %v\n",
-			status, out.Algorithm, out.Machine, shortKey(res.Key),
+		fmt.Fprintf(os.Stderr, "lsra-client: %s via %s (%s on %s): %s, %d procs, %d candidates, %d spilled, wall %v\n",
+			status, node, out.Algorithm, out.Machine, shortKey(res.Key),
 			len(rep.Procs), rep.Totals.Candidates, rep.Totals.SpilledTemps, rep.WallTime)
 	}
 }

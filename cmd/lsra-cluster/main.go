@@ -1,0 +1,157 @@
+// Command lsra-cluster runs a consistent-hash sharded fleet of
+// allocation-service nodes in one process: N lsra-served-equivalent
+// daemons on consecutive ports, a replication timer that mirrors each
+// node's hottest cache entries onto its ring successor (so node loss
+// fails over warm), and a small admin endpoint publishing the topology
+// that cluster-aware clients (cmd/lsra-client -addr with a node table)
+// route against.
+//
+//	lsra-cluster -nodes 3 -base 127.0.0.1:7431 -admin :7430
+//	lsra-cluster -nodes 3 -persist /var/cache/lsra -replicate 15s
+//
+// Admin endpoints: GET /topology (node names, URLs, and replication
+// successors), GET /healthz. Per-node endpoints are the full
+// internal/serve surface (POST /allocate, GET /metrics, ...). With
+// -persist each node gets its own disk tier under <dir>/node-<i>.
+// SIGTERM/SIGINT drains every node: in-flight requests finish and each
+// node's hot entries are pushed to its successor before it stops.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		nodes        = flag.Int("nodes", 3, "node count")
+		base         = flag.String("base", "127.0.0.1:7431", "first node's listen address; later nodes take consecutive ports")
+		admin        = flag.String("admin", ":7430", "admin listen address (/topology, /healthz); empty disables")
+		cacheEntries = flag.Int("cache", 0, "per-node result cache capacity (0 = default, -1 = disable)")
+		workers      = flag.Int("workers", 0, "per-node concurrent allocation requests (0 = all CPUs)")
+		queue        = flag.Int("queue", 0, "per-node admission queue depth (0 = 4x workers)")
+		verify       = flag.Bool("verify", true, "run the symbolic verifier on every allocation")
+		persist      = flag.String("persist", "", "root directory for per-node disk cache tiers (empty = memory only)")
+		persistCost  = flag.Float64("persist-cost-factor", 0, "disk tier admission bar (0 = default, negative admits all)")
+		hotEntries   = flag.Int("hot", 64, "hottest entries replicated per node per sweep")
+		replicate    = flag.Duration("replicate", 30*time.Second, "replication sweep interval; 0 disables")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain the fleet on shutdown")
+	)
+	flag.Parse()
+	if *nodes < 1 {
+		fmt.Fprintln(os.Stderr, "lsra-cluster: -nodes must be at least 1")
+		os.Exit(1)
+	}
+	host, portStr, err := net.SplitHostPort(*base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsra-cluster: bad -base:", err)
+		os.Exit(1)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsra-cluster: bad -base port:", err)
+		os.Exit(1)
+	}
+
+	c := cluster.NewCluster(cluster.Options{HotEntries: *hotEntries})
+	for i := 0; i < *nodes; i++ {
+		cfg := cluster.NodeConfig{
+			Name: "node-" + strconv.Itoa(i),
+			Addr: net.JoinHostPort(host, strconv.Itoa(port+i)),
+			Serve: serve.Config{
+				CacheEntries:      *cacheEntries,
+				Workers:           *workers,
+				QueueDepth:        *queue,
+				Verify:            *verify,
+				PersistCostFactor: *persistCost,
+			},
+		}
+		if *persist != "" {
+			cfg.Serve.PersistDir = filepath.Join(*persist, cfg.Name)
+		}
+		n, err := c.Join(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lsra-cluster:", err)
+			os.Exit(1)
+		}
+		log.Printf("lsra-cluster: %s listening on %s", n.Name, n.URL)
+	}
+	log.Printf("lsra-cluster: node table: %s", strings.Join(c.URLs(), ","))
+
+	var adminSrv *http.Server
+	if *admin != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/topology", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(c.Topology())
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		adminSrv = &http.Server{Addr: *admin, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("lsra-cluster: admin: %v", err)
+			}
+		}()
+		log.Printf("lsra-cluster: admin on %s", *admin)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	if *replicate > 0 && *nodes > 1 {
+		go func() {
+			t := time.NewTicker(*replicate)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					n, err := c.Replicate()
+					if err != nil {
+						log.Printf("lsra-cluster: replicate: %v", err)
+					} else if n > 0 {
+						log.Printf("lsra-cluster: replicated %d hot entries", n)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	<-ctx.Done()
+	stop() // a second signal kills immediately
+	log.Printf("lsra-cluster: signal received, draining %d nodes (timeout %v)", *nodes, *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Push every node's working set forward before stopping, so a
+	// rolling restart comes back warm even without -persist.
+	if *nodes > 1 {
+		if _, err := c.Replicate(); err != nil {
+			log.Printf("lsra-cluster: final replicate: %v", err)
+		}
+	}
+	if adminSrv != nil {
+		_ = adminSrv.Shutdown(dctx)
+	}
+	if err := c.Shutdown(dctx); err != nil {
+		log.Fatalf("lsra-cluster: drain: %v", err)
+	}
+	log.Printf("lsra-cluster: drained cleanly")
+}

@@ -1,0 +1,339 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// ClientConfig tunes a cluster Client. Only Nodes is required.
+type ClientConfig struct {
+	// Nodes are the node base URLs (http://host:port). SetNodes updates
+	// the table later (join/leave).
+	Nodes []string
+	// Vnodes is the ring's virtual-node count; it must match the
+	// cluster's (0 = DefaultVnodes, which the supervisor also uses).
+	Vnodes int
+	// MaxAttempts bounds how many distinct nodes one request may try,
+	// owner included (0 = 3, clamped to the node count).
+	MaxAttempts int
+	// HedgeDelay, when positive, sends a second copy of a still-pending
+	// request to the next node on the ring after this long; the first
+	// answer wins. Cuts tail latency at the cost of duplicate work on
+	// the slow tail.
+	HedgeDelay time.Duration
+	// Max429Retries bounds how often one node attempt re-sends after a
+	// 429, honoring Retry-After each time (0 = 2).
+	Max429Retries int
+	// MaxRetryAfter caps the honored Retry-After sleep, so a hostile or
+	// confused server cannot park the client (0 = 2s).
+	MaxRetryAfter time.Duration
+	// DownCooldown is how long a node that failed a request is skipped
+	// in routing before being tried again (0 = 3s).
+	DownCooldown time.Duration
+	// HTTPClient overrides the transport (nil = a client with a 60s
+	// overall timeout).
+	HTTPClient *http.Client
+}
+
+// ClientStats counts a Client's routing behavior.
+type ClientStats struct {
+	// Requests counts Allocate calls; Failovers attempts moved to a
+	// successor after a node failed; Hedges hedge copies sent; HedgeWins
+	// hedge copies that answered first; Retries429 re-sends after a
+	// 429 + Retry-After; Errors requests that exhausted every candidate.
+	Requests   uint64 `json:"requests"`
+	Failovers  uint64 `json:"failovers"`
+	Hedges     uint64 `json:"hedges"`
+	HedgeWins  uint64 `json:"hedge_wins"`
+	Retries429 uint64 `json:"retries_429"`
+	Errors     uint64 `json:"errors"`
+}
+
+// Client is the cluster-aware allocation client: consistent-hash
+// routing with failover, bounded 429 backoff, and optional hedged
+// requests. Safe for concurrent use.
+type Client struct {
+	cfg  ClientConfig
+	ring *Ring
+	http *http.Client
+
+	healthMu sync.Mutex
+	downTil  map[string]time.Time
+
+	requests, failovers  atomic.Uint64
+	hedges, hedgeWins    atomic.Uint64
+	retries429, errorsCt atomic.Uint64
+}
+
+// NewClient builds a Client over the given nodes.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Max429Retries <= 0 {
+		cfg.Max429Retries = 2
+	}
+	if cfg.MaxRetryAfter <= 0 {
+		cfg.MaxRetryAfter = 2 * time.Second
+	}
+	if cfg.DownCooldown <= 0 {
+		cfg.DownCooldown = 3 * time.Second
+	}
+	c := &Client{
+		cfg:     cfg,
+		ring:    NewRing(cfg.Vnodes),
+		http:    cfg.HTTPClient,
+		downTil: map[string]time.Time{},
+	}
+	if c.http == nil {
+		c.http = &http.Client{Timeout: 60 * time.Second}
+	}
+	for _, n := range cfg.Nodes {
+		c.ring.Add(n)
+	}
+	return c
+}
+
+// SetNodes replaces the node table (the join/leave hook).
+func (c *Client) SetNodes(nodes []string) {
+	want := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		want[n] = true
+		c.ring.Add(n)
+	}
+	for _, n := range c.ring.Nodes() {
+		if !want[n] {
+			c.ring.Remove(n)
+		}
+	}
+}
+
+// Nodes returns the current node table.
+func (c *Client) Nodes() []string { return c.ring.Nodes() }
+
+// Stats samples the client counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Requests:   c.requests.Load(),
+		Failovers:  c.failovers.Load(),
+		Hedges:     c.hedges.Load(),
+		HedgeWins:  c.hedgeWins.Load(),
+		Retries429: c.retries429.Load(),
+		Errors:     c.errorsCt.Load(),
+	}
+}
+
+// markDown records a node failure; the node is skipped in routing until
+// the cooldown passes (it stays a last-resort candidate).
+func (c *Client) markDown(node string) {
+	c.healthMu.Lock()
+	c.downTil[node] = time.Now().Add(c.cfg.DownCooldown)
+	c.healthMu.Unlock()
+}
+
+// markUp clears a node's down state after a success.
+func (c *Client) markUp(node string) {
+	c.healthMu.Lock()
+	delete(c.downTil, node)
+	c.healthMu.Unlock()
+}
+
+// candidates returns the failover sequence for key: the owner and its
+// successors, healthy nodes first, cooling-down nodes demoted to the
+// tail rather than dropped (when everything is marked down, trying is
+// still better than failing).
+func (c *Client) candidates(key uint64) []string {
+	seq := c.ring.Sequence(key, c.cfg.MaxAttempts)
+	now := time.Now()
+	c.healthMu.Lock()
+	defer c.healthMu.Unlock()
+	healthy := make([]string, 0, len(seq))
+	var cooling []string
+	for _, n := range seq {
+		if til, ok := c.downTil[n]; ok && now.Before(til) {
+			cooling = append(cooling, n)
+		} else {
+			healthy = append(healthy, n)
+		}
+	}
+	return append(healthy, cooling...)
+}
+
+// Allocate routes one request to its owning node, failing over to ring
+// successors on node failure and hedging per ClientConfig. It returns
+// the decoded response and the node that served it.
+func (c *Client) Allocate(ctx context.Context, req serve.AllocateRequest) (*serve.AllocateResponse, string, error) {
+	c.requests.Add(1)
+	texts := req.Programs
+	if req.Program != "" {
+		texts = []string{req.Program}
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, "", err
+	}
+	seq := c.candidates(RouteKey(req.Machine, req.Algorithm, texts))
+	if len(seq) == 0 {
+		c.errorsCt.Add(1)
+		return nil, "", fmt.Errorf("cluster: no nodes")
+	}
+	resp, node, err := c.race(ctx, seq, body)
+	if err != nil {
+		c.errorsCt.Add(1)
+		return nil, "", err
+	}
+	return resp, node, nil
+}
+
+// attemptResult is one node attempt's outcome.
+type attemptResult struct {
+	idx    int
+	hedged bool
+	resp   *serve.AllocateResponse
+	err    error
+}
+
+// race runs the staggered-failover protocol over the candidate
+// sequence: the owner is tried immediately; a failure starts the next
+// candidate at once (failover); with hedging enabled, a candidate that
+// is merely slow gets company after HedgeDelay. The first success wins
+// and cancels the rest.
+func (c *Client) race(ctx context.Context, seq []string, body []byte) (*serve.AllocateResponse, string, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan attemptResult, len(seq))
+	next, inflight := 0, 0
+	launch := func(hedged bool) {
+		idx := next
+		next++
+		inflight++
+		go func() {
+			resp, err := c.attempt(ctx, seq[idx], body)
+			results <- attemptResult{idx: idx, hedged: hedged, resp: resp, err: err}
+		}()
+	}
+	launch(false)
+
+	var hedgeC <-chan time.Time
+	if c.cfg.HedgeDelay > 0 && next < len(seq) {
+		t := time.NewTimer(c.cfg.HedgeDelay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var lastErr error
+	for {
+		select {
+		case res := <-results:
+			inflight--
+			if res.err == nil {
+				if res.hedged {
+					c.hedgeWins.Add(1)
+				}
+				c.markUp(seq[res.idx])
+				return res.resp, seq[res.idx], nil
+			}
+			lastErr = fmt.Errorf("node %s: %w", seq[res.idx], res.err)
+			if ctx.Err() != nil {
+				return nil, "", lastErr
+			}
+			c.markDown(seq[res.idx])
+			if next < len(seq) {
+				c.failovers.Add(1)
+				launch(false)
+			} else if inflight == 0 {
+				return nil, "", lastErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(seq) {
+				c.hedges.Add(1)
+				launch(true)
+			}
+		case <-ctx.Done():
+			return nil, "", ctx.Err()
+		}
+	}
+}
+
+// attempt posts the request to one node, honoring 429 + Retry-After
+// with bounded backoff: the server's explicit please-wait is respected
+// (capped at MaxRetryAfter) up to Max429Retries times before the
+// attempt counts as failed.
+func (c *Client) attempt(ctx context.Context, node string, body []byte) (*serve.AllocateResponse, error) {
+	for retry := 0; ; retry++ {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, node+"/allocate", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := c.http.Do(hreq)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			var out serve.AllocateResponse
+			if err := json.Unmarshal(raw, &out); err != nil {
+				return nil, fmt.Errorf("bad response body: %w", err)
+			}
+			return &out, nil
+		case resp.StatusCode == http.StatusTooManyRequests && retry < c.cfg.Max429Retries:
+			c.retries429.Add(1)
+			if err := sleepCtx(ctx, retryAfter(resp, c.cfg.MaxRetryAfter)); err != nil {
+				return nil, err
+			}
+			continue
+		default:
+			var e serve.ErrorResponse
+			if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+				return nil, fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+			}
+			return nil, fmt.Errorf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// retryAfter reads a 429's Retry-After seconds, bounded by limit (which
+// is also the fallback when the header is missing or unparsable).
+func retryAfter(resp *http.Response, limit time.Duration) time.Duration {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			d := time.Duration(secs) * time.Second
+			if d > limit {
+				return limit
+			}
+			return d
+		}
+	}
+	return limit
+}
+
+// sleepCtx sleeps d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

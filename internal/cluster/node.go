@@ -1,0 +1,353 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// NodeConfig describes one cluster member.
+type NodeConfig struct {
+	// Name identifies the node to the supervisor (join/leave/kill);
+	// empty derives it from the listen address.
+	Name string
+	// Addr is the listen address; "127.0.0.1:0" picks a free port.
+	Addr string
+	// Serve configures the node's allocation service (cache size,
+	// workers, persistence directory, ...).
+	Serve serve.Config
+	// Middleware, when set, wraps the node's handler — the bench and
+	// tests use it to inject tail latency or fault conditions.
+	Middleware func(http.Handler) http.Handler
+}
+
+// Node is one running cluster member: a serve.Server on a real
+// listener.
+type Node struct {
+	Name string
+	// URL is the node's base URL (http://host:port) — its ring identity.
+	URL string
+
+	srv     *serve.Server
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// StartNode builds and starts one node. It is independent of any
+// Cluster: a remote deployment runs StartNode-equivalent daemons
+// (cmd/lsra-served) per machine and only the node table is shared.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	srv, err := serve.New(cfg.Serve)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", cfg.Addr, err)
+	}
+	var handler http.Handler = srv
+	if cfg.Middleware != nil {
+		handler = cfg.Middleware(srv)
+	}
+	hs := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	n := &Node{
+		Name:    cfg.Name,
+		URL:     "http://" + ln.Addr().String(),
+		srv:     srv,
+		httpSrv: hs,
+		ln:      ln,
+	}
+	if n.Name == "" {
+		n.Name = ln.Addr().String()
+	}
+	go func() { _ = hs.Serve(ln) }()
+	return n, nil
+}
+
+// Server exposes the node's allocation service (tests reach its cache
+// and metrics through it).
+func (n *Node) Server() *serve.Server { return n.srv }
+
+// Drain gracefully stops the node: in-flight requests finish, new ones
+// are refused, then the listener closes.
+func (n *Node) Drain(ctx context.Context) error {
+	if err := n.srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return n.httpSrv.Shutdown(ctx)
+}
+
+// Kill stops the node abruptly — no drain, no replication — the
+// node-loss failure mode the failover tests exercise.
+func (n *Node) Kill() {
+	_ = n.httpSrv.Close()
+}
+
+// NodeInfo is one row of a cluster topology.
+type NodeInfo struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	// Successor is the node's replication target on the ring.
+	Successor string `json:"successor,omitempty"`
+}
+
+// Options tunes a Cluster supervisor.
+type Options struct {
+	// Vnodes is the ring's virtual-node count (0 = DefaultVnodes; must
+	// match the clients').
+	Vnodes int
+	// HotEntries is how many hottest cache entries move per replication
+	// (0 = 64).
+	HotEntries int
+	// SeedChunk bounds entries per /cache/seed POST so replication
+	// stays under the receiver's request-size limit (0 = 16).
+	SeedChunk int
+	// HTTPClient overrides the transport used for replication calls.
+	HTTPClient *http.Client
+}
+
+// Cluster supervises a set of in-process nodes: it owns the ring,
+// implements join/leave with hot-cache-entry replication, and a
+// Replicate sweep that keeps each node's working set mirrored on its
+// successor so abrupt node loss still fails over warm.
+type Cluster struct {
+	opts Options
+	http *http.Client
+
+	mu    sync.Mutex
+	ring  *Ring
+	nodes map[string]*Node // by name
+}
+
+// NewCluster returns an empty supervisor.
+func NewCluster(opts Options) *Cluster {
+	if opts.HotEntries <= 0 {
+		opts.HotEntries = 64
+	}
+	if opts.SeedChunk <= 0 {
+		opts.SeedChunk = 16
+	}
+	c := &Cluster{
+		opts:  opts,
+		http:  opts.HTTPClient,
+		ring:  NewRing(opts.Vnodes),
+		nodes: map[string]*Node{},
+	}
+	if c.http == nil {
+		c.http = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c
+}
+
+// Join starts a node, adds it to the ring, and warms it from its ring
+// successor — the member that owned (most of) its key range until now —
+// by pulling the successor's hottest entries into the new node's cache.
+func (c *Cluster) Join(cfg NodeConfig) (*Node, error) {
+	n, err := StartNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if _, dup := c.nodes[n.Name]; dup {
+		c.mu.Unlock()
+		n.Kill()
+		return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+	}
+	c.nodes[n.Name] = n
+	c.ring.Add(n.URL)
+	succ := c.ring.Successor(n.URL)
+	c.mu.Unlock()
+	if succ != "" {
+		// Warm the joiner; a replication failure leaves it cold, not
+		// broken.
+		_, _ = c.replicate(succ, n.URL)
+	}
+	return n, nil
+}
+
+// Leave drains a node out of the cluster: its hot cache entries are
+// pushed to its ring successor first (so the working set survives the
+// departure), it is removed from the ring, then drained and stopped.
+func (c *Cluster) Leave(ctx context.Context, name string) error {
+	c.mu.Lock()
+	n, ok := c.nodes[name]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no node %q", name)
+	}
+	succ := c.ring.Successor(n.URL)
+	c.mu.Unlock()
+	if succ != "" {
+		if _, err := c.replicate(n.URL, succ); err != nil {
+			return fmt.Errorf("cluster: leave %s: replicate to successor: %w", name, err)
+		}
+	}
+	c.mu.Lock()
+	c.ring.Remove(n.URL)
+	delete(c.nodes, name)
+	c.mu.Unlock()
+	return n.Drain(ctx)
+}
+
+// Kill removes a node abruptly: no replication, no drain — simulating
+// node loss. Whatever Replicate mirrored beforehand is what stays warm.
+func (c *Cluster) Kill(name string) {
+	c.mu.Lock()
+	n, ok := c.nodes[name]
+	if ok {
+		c.ring.Remove(n.URL)
+		delete(c.nodes, name)
+	}
+	c.mu.Unlock()
+	if ok {
+		n.Kill()
+	}
+}
+
+// Node returns a member by name.
+func (c *Cluster) Node(name string) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[name]
+}
+
+// URLs returns the members' base URLs, sorted — the client node table.
+func (c *Cluster) URLs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, n.URL)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Topology lists the members with their replication successors.
+func (c *Cluster) Topology() []NodeInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]NodeInfo, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, NodeInfo{Name: n.Name, URL: n.URL, Successor: c.ring.Successor(n.URL)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Client builds a cluster-aware client over the current members; cfg's
+// Nodes and Vnodes are filled in.
+func (c *Cluster) Client(cfg ClientConfig) *Client {
+	cfg.Nodes = c.URLs()
+	cfg.Vnodes = c.opts.Vnodes
+	return NewClient(cfg)
+}
+
+// Replicate runs one replication sweep: every node pushes its hottest
+// cache entries to its ring successor. Run it on a timer
+// (cmd/lsra-cluster does) so abrupt node loss fails over onto a warm
+// successor. Returns the total entries seeded.
+func (c *Cluster) Replicate() (int, error) {
+	c.mu.Lock()
+	type hop struct{ from, to string }
+	var hops []hop
+	for _, n := range c.nodes {
+		if succ := c.ring.Successor(n.URL); succ != "" {
+			hops = append(hops, hop{from: n.URL, to: succ})
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(hops, func(i, j int) bool { return hops[i].from < hops[j].from })
+	total := 0
+	var firstErr error
+	for _, h := range hops {
+		n, err := c.replicate(h.from, h.to)
+		total += n
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return total, firstErr
+}
+
+// Shutdown drains every node.
+func (c *Cluster) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	nodes := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+		c.ring.Remove(n.URL)
+	}
+	c.nodes = map[string]*Node{}
+	c.mu.Unlock()
+	var firstErr error
+	for _, n := range nodes {
+		if err := n.Drain(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// replicate pulls from's hottest entries and seeds them into to, in
+// chunks that respect the receiver's request-size bound. Returns how
+// many entries the receiver accepted.
+func (c *Cluster) replicate(from, to string) (int, error) {
+	resp, err := c.http.Get(fmt.Sprintf("%s/cache/export?n=%d", from, c.opts.HotEntries))
+	if err != nil {
+		return 0, err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("export from %s: status %d", from, resp.StatusCode)
+	}
+	var exp serve.CacheExportResponse
+	if err := json.Unmarshal(raw, &exp); err != nil {
+		return 0, fmt.Errorf("export from %s: %w", from, err)
+	}
+	seeded := 0
+	for start := 0; start < len(exp.Entries); start += c.opts.SeedChunk {
+		end := start + c.opts.SeedChunk
+		if end > len(exp.Entries) {
+			end = len(exp.Entries)
+		}
+		body, err := json.Marshal(&serve.CacheSeedRequest{Entries: exp.Entries[start:end]})
+		if err != nil {
+			return seeded, err
+		}
+		sresp, err := c.http.Post(to+"/cache/seed", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return seeded, err
+		}
+		sraw, err := io.ReadAll(sresp.Body)
+		sresp.Body.Close()
+		if err != nil {
+			return seeded, err
+		}
+		if sresp.StatusCode != http.StatusOK {
+			return seeded, fmt.Errorf("seed to %s: status %d", to, sresp.StatusCode)
+		}
+		var sr serve.CacheSeedResponse
+		if err := json.Unmarshal(sraw, &sr); err != nil {
+			return seeded, err
+		}
+		seeded += sr.Seeded
+	}
+	return seeded, nil
+}

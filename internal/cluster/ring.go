@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultVnodes is the virtual-node count per member when NewRing is
+// given a non-positive one. Client and supervisor must agree on the
+// count (both default here) for their rings to route identically.
+const DefaultVnodes = 64
+
+// Ring is a consistent-hash ring over node addresses: each member owns
+// vnodes points on a 64-bit circle, and a key belongs to the member
+// whose point follows the key's hash. Adding or removing one member
+// moves only ~1/n of the key space. Safe for concurrent use.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []point // sorted by hash
+	nodes  map[string]bool
+}
+
+// point is one virtual node.
+type point struct {
+	hash uint64
+	node string
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (DefaultVnodes when <= 0).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, nodes: map[string]bool{}}
+}
+
+// hash64 is the ring's key hash.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// pointHash places a member's i-th virtual node. fnv alone correlates
+// badly on the near-identical "<node>#<i>" strings (one node can end up
+// owning half the circle), so the fnv base is finished with a
+// splitmix64 mix to scatter the points.
+func pointHash(node string, i int) uint64 {
+	x := hash64(node) + uint64(i) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Add inserts a member (idempotent).
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hash: pointHash(node, i), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a member (idempotent).
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Nodes returns the members in sorted order.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Owner returns the member owning a key hash, or "" on an empty ring.
+func (r *Ring) Owner(key uint64) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.searchLocked(key)].node
+}
+
+// searchLocked finds the first point at or after key, wrapping.
+func (r *Ring) searchLocked(key uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Sequence returns up to max distinct members in ring order starting at
+// the key's owner: the failover order for the key. max <= 0 means every
+// member.
+func (r *Ring) Sequence(key uint64, max int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if max <= 0 || max > len(r.nodes) {
+		max = len(r.nodes)
+	}
+	out := make([]string, 0, max)
+	seen := make(map[string]bool, max)
+	for i, n := r.searchLocked(key), 0; n < len(r.points) && len(out) < max; i, n = (i+1)%len(r.points), n+1 {
+		if node := r.points[i].node; !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// Successor returns the distinct member that follows node on the ring —
+// the node that inherits (most of) its range when it leaves, and
+// therefore the replication target for its hot cache entries. Returns
+// "" when node is alone or absent. With virtual nodes a leaving
+// member's ranges scatter over several members; the successor of its
+// first point is the single best target, and cache misses on the rest
+// are merely cold, never wrong.
+func (r *Ring) Successor(node string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if !r.nodes[node] || len(r.nodes) < 2 {
+		return ""
+	}
+	start := r.searchLocked(pointHash(node, 0))
+	for n, i := 0, (start+1)%len(r.points); n < len(r.points); n, i = n+1, (i+1)%len(r.points) {
+		if r.points[i].node != node {
+			return r.points[i].node
+		}
+	}
+	return ""
+}
+
+// RouteKey hashes one allocation request onto the ring's key space: the
+// machine spec string, algorithm, and program texts, in order. It is
+// the client-computable proxy for the engine's content address — two
+// identical requests always route to the same node, so the owner's
+// cache sees every repeat.
+func RouteKey(machine, algorithm string, programs []string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(machine))
+	h.Write([]byte{0})
+	h.Write([]byte(algorithm))
+	for _, p := range programs {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnerStable(t *testing.T) {
+	r := NewRing(0)
+	r.Add("http://a")
+	r.Add("http://b")
+	r.Add("http://c")
+	for i := 0; i < 100; i++ {
+		key := hash64(fmt.Sprintf("key-%d", i))
+		first := r.Owner(key)
+		if first == "" {
+			t.Fatal("empty owner on populated ring")
+		}
+		if again := r.Owner(key); again != first {
+			t.Fatalf("owner not stable: %s then %s", first, again)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"http://a", "http://b", "http://c", "http://d"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	const keys = 4000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(hash64(fmt.Sprintf("key-%d", i)))]++
+	}
+	// With 64 vnodes the spread should be loose but bounded: every node
+	// gets a real share, none dominates.
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("node %s owns %.1f%% of keys, outside [10%%, 45%%]", n, share*100)
+		}
+	}
+}
+
+func TestRingJoinMovesBoundedShare(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"http://a", "http://b", "http://c"} {
+		r.Add(n)
+	}
+	const keys = 4000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Owner(hash64(fmt.Sprintf("key-%d", i)))
+	}
+	r.Add("http://d")
+	moved, toNew := 0, 0
+	for i := range before {
+		now := r.Owner(hash64(fmt.Sprintf("key-%d", i)))
+		if now != before[i] {
+			moved++
+			if now == "http://d" {
+				toNew++
+			}
+		}
+	}
+	if moved != toNew {
+		t.Errorf("join moved %d keys but only %d landed on the joiner — keys shuffled between old nodes", moved, toNew)
+	}
+	// Consistent hashing: a 4th node takes ~1/4 of the space, give or
+	// take vnode variance.
+	share := float64(moved) / keys
+	if share < 0.10 || share > 0.45 {
+		t.Errorf("join moved %.1f%% of keys, expected ~25%%", share*100)
+	}
+}
+
+func TestRingRemoveRestoresOwners(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"http://a", "http://b", "http://c"} {
+		r.Add(n)
+	}
+	const keys = 1000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Owner(hash64(fmt.Sprintf("key-%d", i)))
+	}
+	r.Add("http://d")
+	r.Remove("http://d")
+	for i := range before {
+		if now := r.Owner(hash64(fmt.Sprintf("key-%d", i))); now != before[i] {
+			t.Fatalf("key %d: owner %s before join, %s after join+leave", i, before[i], now)
+		}
+	}
+}
+
+func TestRingSequence(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"http://a", "http://b", "http://c"} {
+		r.Add(n)
+	}
+	key := hash64("some-key")
+	seq := r.Sequence(key, 0)
+	if len(seq) != 3 {
+		t.Fatalf("Sequence(max=0) returned %d nodes, want 3", len(seq))
+	}
+	if seq[0] != r.Owner(key) {
+		t.Errorf("sequence head %s != owner %s", seq[0], r.Owner(key))
+	}
+	seen := map[string]bool{}
+	for _, n := range seq {
+		if seen[n] {
+			t.Errorf("duplicate node %s in sequence", n)
+		}
+		seen[n] = true
+	}
+	if got := r.Sequence(key, 2); len(got) != 2 || got[0] != seq[0] || got[1] != seq[1] {
+		t.Errorf("Sequence(max=2) = %v, want prefix of %v", got, seq)
+	}
+}
+
+func TestRingSuccessor(t *testing.T) {
+	r := NewRing(0)
+	r.Add("http://a")
+	if s := r.Successor("http://a"); s != "" {
+		t.Errorf("lone node has successor %q, want none", s)
+	}
+	if s := r.Successor("http://ghost"); s != "" {
+		t.Errorf("absent node has successor %q, want none", s)
+	}
+	r.Add("http://b")
+	if s := r.Successor("http://a"); s != "http://b" {
+		t.Errorf("two-node ring: successor(a) = %q, want http://b", s)
+	}
+	if s := r.Successor("http://b"); s != "http://a" {
+		t.Errorf("two-node ring: successor(b) = %q, want http://a", s)
+	}
+	r.Add("http://c")
+	for _, n := range []string{"http://a", "http://b", "http://c"} {
+		if s := r.Successor(n); s == "" || s == n {
+			t.Errorf("successor(%s) = %q, want a distinct member", n, s)
+		}
+	}
+}
+
+func TestRouteKeyDeterministic(t *testing.T) {
+	a := RouteKey("amd64", "linear", []string{"p1", "p2"})
+	if b := RouteKey("amd64", "linear", []string{"p1", "p2"}); b != a {
+		t.Fatal("RouteKey not deterministic")
+	}
+	if b := RouteKey("amd64", "graph", []string{"p1", "p2"}); b == a {
+		t.Error("algorithm change did not change the route key")
+	}
+	if b := RouteKey("arm", "linear", []string{"p1", "p2"}); b == a {
+		t.Error("machine change did not change the route key")
+	}
+	if b := RouteKey("amd64", "linear", []string{"p1"}); b == a {
+		t.Error("program set change did not change the route key")
+	}
+}

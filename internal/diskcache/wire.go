@@ -1,0 +1,73 @@
+package diskcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	regalloc "repro"
+	"repro/internal/ir"
+)
+
+// Entry is the wire form of one cached allocation: the disk tier's
+// on-disk record and the payload of the cluster's replication endpoints
+// (GET /cache/export, POST /cache/seed in internal/serve). The program
+// travels in its machine-independent textual form, so no machine
+// definition accompanies it; the key already content-addresses machine
+// and configuration.
+type Entry struct {
+	// Key is the content address (regalloc.CacheKey) the entry is
+	// stored under.
+	Key string `json:"key"`
+	// Program is the allocated program printed by a machless
+	// ir.Printer ($R<n> register spellings); ir.ParseProgram with a nil
+	// machine reads it back.
+	Program string `json:"program"`
+	// MemInit is the program's initial nonzero memory words, which the
+	// textual form does not carry.
+	MemInit map[int]int64 `json:"mem_init,omitempty"`
+	// Report is the original allocation's report; its PhaseStats are
+	// what cost-aware admission prices a future miss at.
+	Report *regalloc.Report `json:"report"`
+}
+
+// Encode renders one cache entry in wire form.
+func Encode(key regalloc.CacheKey, e *regalloc.CachedAllocation) ([]byte, error) {
+	if e == nil || e.Program == nil || e.Report == nil {
+		return nil, fmt.Errorf("diskcache: encode: incomplete entry")
+	}
+	var sb strings.Builder
+	(&ir.Printer{}).WriteProgram(&sb, e.Program)
+	w := Entry{Key: string(key), Program: sb.String(), Report: e.Report}
+	if len(e.Program.MemInit) > 0 {
+		w.MemInit = e.Program.MemInit
+	}
+	return json.Marshal(&w)
+}
+
+// Decode parses a wire-form entry back into a cache key and entry.
+func Decode(data []byte) (regalloc.CacheKey, *regalloc.CachedAllocation, error) {
+	var w Entry
+	if err := json.Unmarshal(data, &w); err != nil {
+		return "", nil, fmt.Errorf("diskcache: decode: %w", err)
+	}
+	return w.Materialize()
+}
+
+// Materialize turns an already-unmarshalled wire entry into a cache key
+// and entry, parsing the program text.
+func (w *Entry) Materialize() (regalloc.CacheKey, *regalloc.CachedAllocation, error) {
+	if w.Key == "" || w.Report == nil {
+		return "", nil, fmt.Errorf("diskcache: decode: missing key or report")
+	}
+	prog, err := ir.ParseProgramString(w.Program, nil)
+	if err != nil {
+		return "", nil, fmt.Errorf("diskcache: decode program: %w", err)
+	}
+	for a, v := range w.MemInit {
+		if a >= 0 && a < prog.MemWords {
+			prog.MemInit[a] = v
+		}
+	}
+	return regalloc.CacheKey(w.Key), &regalloc.CachedAllocation{Program: prog, Report: w.Report}, nil
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/target"
+)
+
+// ClusterJob is one request of a cluster load: a LoadJob plus the
+// scheduling class it is submitted under. Hot jobs repeat across the
+// request stream (cache-hit candidates on whichever node owns them);
+// cold jobs appear once.
+type ClusterJob struct {
+	LoadJob
+	// Priority is the request's scheduling class ("interactive" or
+	// "batch") as posted to the service.
+	Priority string
+	// Hot marks a job drawn from the repeating hot set.
+	Hot bool
+}
+
+// ClusterWorkload builds a deterministic request stream for cluster
+// load tests: a hot set of hotN distinct programs replayed hotRepeats
+// times each, interleaved round-robin with coldN distinct cold programs
+// seen exactly once. Interactive and batch priorities alternate
+// deterministically (even stream positions interactive, odd batch), so
+// the stream exercises the per-class admission queue as well as the
+// cache tiers. The stream is identical across runs for a given
+// (machine, seed0), making before/after benchmark comparisons
+// meaningful.
+func ClusterWorkload(mach *target.Machine, seed0 int64, hotN, hotRepeats, coldN int) ([]ClusterJob, error) {
+	if hotN < 0 || hotRepeats < 1 || coldN < 0 {
+		return nil, fmt.Errorf("experiments: cluster workload: bad shape (hotN=%d, hotRepeats=%d, coldN=%d)", hotN, hotRepeats, coldN)
+	}
+	hot, err := Workload(mach, []string{"default"}, seed0, hotN)
+	if err != nil {
+		return nil, err
+	}
+	// Cold seeds start far past the hot range so the sets never overlap.
+	cold, err := Workload(mach, []string{"default"}, seed0+int64(hotN)+1_000_000, coldN)
+	if err != nil {
+		return nil, err
+	}
+
+	total := hotN*hotRepeats + coldN
+	stream := make([]ClusterJob, 0, total)
+	hi, ci := 0, 0
+	for len(stream) < total {
+		// Interleave: hot jobs dominate the stream in proportion to
+		// their share, cycling through the hot set so repeats are
+		// spread out rather than back to back.
+		if hi < hotN*hotRepeats && (ci >= coldN || hi*(coldN) <= ci*(hotN*hotRepeats)) {
+			stream = append(stream, ClusterJob{LoadJob: hot[hi%hotN], Hot: true})
+			hi++
+		} else {
+			stream = append(stream, ClusterJob{LoadJob: cold[ci], Hot: false})
+			ci++
+		}
+	}
+	for i := range stream {
+		if i%2 == 0 {
+			stream[i].Priority = "interactive"
+		} else {
+			stream[i].Priority = "batch"
+		}
+	}
+	return stream, nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/target"
+)
+
+func TestClusterWorkloadShape(t *testing.T) {
+	mach := target.Tiny(6, 4)
+	const hotN, hotRepeats, coldN = 4, 3, 5
+	stream, err := ClusterWorkload(mach, 1, hotN, hotRepeats, coldN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) != hotN*hotRepeats+coldN {
+		t.Fatalf("stream length %d, want %d", len(stream), hotN*hotRepeats+coldN)
+	}
+
+	hotCounts := map[string]int{}
+	coldSeen := map[string]bool{}
+	interactive, batch := 0, 0
+	for _, j := range stream {
+		if j.Hot {
+			hotCounts[j.Text]++
+		} else {
+			if coldSeen[j.Text] {
+				t.Error("cold job repeated in the stream")
+			}
+			coldSeen[j.Text] = true
+		}
+		switch j.Priority {
+		case "interactive":
+			interactive++
+		case "batch":
+			batch++
+		default:
+			t.Fatalf("job has priority %q", j.Priority)
+		}
+	}
+	if len(hotCounts) != hotN {
+		t.Errorf("%d distinct hot programs, want %d", len(hotCounts), hotN)
+	}
+	for text, n := range hotCounts {
+		if n != hotRepeats {
+			t.Errorf("hot program repeated %d times, want %d (%.40q...)", n, hotRepeats, text)
+		}
+	}
+	if len(coldSeen) != coldN {
+		t.Errorf("%d distinct cold programs, want %d", len(coldSeen), coldN)
+	}
+	if interactive == 0 || batch == 0 {
+		t.Errorf("priorities not mixed: %d interactive, %d batch", interactive, batch)
+	}
+
+	// Hot and cold seed ranges must not collide.
+	for _, j := range stream {
+		if j.Hot && hotCounts[j.Text] == 0 {
+			t.Error("hot job text missing from hot set")
+		}
+		if !j.Hot && hotCounts[j.Text] > 0 {
+			t.Error("cold job text collides with the hot set")
+		}
+	}
+
+	// Determinism: a rebuild is identical.
+	again, err := ClusterWorkload(mach, 1, hotN, hotRepeats, coldN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range stream {
+		if stream[i].Text != again[i].Text || stream[i].Priority != again[i].Priority || stream[i].Hot != again[i].Hot {
+			t.Fatalf("stream position %d differs across rebuilds", i)
+		}
+	}
+}
+
+func TestClusterWorkloadBadShape(t *testing.T) {
+	mach := target.Tiny(6, 4)
+	if _, err := ClusterWorkload(mach, 1, -1, 1, 0); err == nil {
+		t.Error("negative hotN accepted")
+	}
+	if _, err := ClusterWorkload(mach, 1, 1, 0, 0); err == nil {
+		t.Error("zero hotRepeats accepted")
+	}
+}

@@ -31,6 +31,12 @@ import (
 // signatures; the paper's pipeline only parses pre-allocation IR but
 // allocated code round-trips as well. Positions (Printer.Positions) are
 // not accepted.
+//
+// A nil machine parses the machine-independent form a machless Printer
+// emits: registers must be spelled $R<n> and are taken at face value
+// (no bound check against a register file). The persistent cache tier
+// and cluster replication use this to move allocated programs between
+// nodes without shipping machine definitions alongside.
 func ParseProgram(r io.Reader, mach *target.Machine) (*Program, error) {
 	p := &parser{mach: mach, sc: bufio.NewScanner(r)}
 	p.sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -80,6 +86,10 @@ func (p *parser) unread(line string) { p.peeked = &line }
 
 func (p *parser) regNames() map[string]target.Reg {
 	if p.regByName == nil {
+		if p.mach == nil {
+			p.regByName = map[string]target.Reg{}
+			return p.regByName
+		}
 		p.regByName = make(map[string]target.Reg, p.mach.NumRegs())
 		for r := 0; r < p.mach.NumRegs(); r++ {
 			p.regByName[p.mach.RegName(target.Reg(r))] = target.Reg(r)
@@ -374,6 +384,14 @@ func (p *parser) operand(st *procState, tok string, want target.Class, op Op, is
 		name := tok[1:]
 		r, ok := p.regNames()[name]
 		if !ok {
+			// Machless parse: accept the machine-independent $R<n> form
+			// the machless Printer produces, taking the index at face
+			// value. With a machine, its name table is authoritative.
+			if p.mach == nil {
+				if n, err := strconv.Atoi(strings.TrimPrefix(name, "R")); err == nil && strings.HasPrefix(name, "R") && n >= 0 {
+					return RegOp(target.Reg(n)), nil
+				}
+			}
 			return Operand{}, fmt.Errorf("unknown register %q", tok)
 		}
 		return RegOp(r), nil

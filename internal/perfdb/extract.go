@@ -51,6 +51,18 @@ type benchDoc struct {
 		Speedup          float64 `json:"speedup"`
 		CacheHitRate     float64 `json:"cache_hit_rate"`
 	} `json:"serve"`
+	Cluster *struct {
+		ColdNsPerRequest    int64   `json:"cold_ns_per_request"`
+		WarmNsPerRequest    int64   `json:"warm_ns_per_request"`
+		WarmHitRate         float64 `json:"warm_hit_rate"`
+		UnhedgedP99Ns       int64   `json:"unhedged_p99_ns"`
+		HedgedP99Ns         int64   `json:"hedged_p99_ns"`
+		HedgeWins           uint64  `json:"hedge_wins"`
+		TailSpeedupP99      float64 `json:"tail_speedup_p99"`
+		PersistAdmitted     uint64  `json:"persist_admitted"`
+		PersistRejectedCost uint64  `json:"persist_rejected_cost"`
+		RestartWarmHitRate  float64 `json:"restart_warm_hit_rate"`
+	} `json:"cluster"`
 }
 
 // Extract flattens one lsra-bench JSON document into a Record. Stamped
@@ -132,6 +144,21 @@ func Extract(data []byte, fallback Meta) (*Record, error) {
 		put("serve_warm_ns", float64(s.WarmNsPerProgram))
 		put("serve_speedup", s.Speedup)
 		put("serve_cache_hit_rate", s.CacheHitRate)
+	}
+
+	// Sharded cluster: routing/caching steady state, the hedged-request
+	// tail, and the persistent tier's admission + restart behavior.
+	if cs := doc.Cluster; cs != nil {
+		put("cluster_cold_ns", float64(cs.ColdNsPerRequest))
+		put("cluster_warm_ns", float64(cs.WarmNsPerRequest))
+		put("cluster_warm_hit_rate", cs.WarmHitRate)
+		put("cluster_unhedged_p99_ns", float64(cs.UnhedgedP99Ns))
+		put("cluster_hedged_p99_ns", float64(cs.HedgedP99Ns))
+		put("cluster_hedge_wins", float64(cs.HedgeWins))
+		put("cluster_tail_speedup_p99", cs.TailSpeedupP99)
+		put("cluster_persist_admitted", float64(cs.PersistAdmitted))
+		put("cluster_persist_rejected_cost", float64(cs.PersistRejectedCost))
+		put("cluster_restart_warm_hit_rate", cs.RestartWarmHitRate)
 	}
 
 	// Process-wide resource attribution (v1 records only).

@@ -28,6 +28,18 @@ func stampedDoc(t *testing.T, commit string, at time.Time, serveCold, scanNs flo
 			"speedup":             2.0,
 			"cache_hit_rate":      0.99,
 		},
+		"cluster": map[string]any{
+			"cold_ns_per_request":   3.1e6,
+			"warm_ns_per_request":   1.6e6,
+			"warm_hit_rate":         1.0,
+			"unhedged_p99_ns":       2.9e7,
+			"hedged_p99_ns":         1.1e7,
+			"hedge_wins":            12,
+			"tail_speedup_p99":      2.6,
+			"persist_admitted":      6,
+			"persist_rejected_cost": 10,
+			"restart_warm_hit_rate": 1.0,
+		},
 		"resources": Resources{MaxRSSBytes: 64 << 20, UserCPUNs: 9e6, SysCPUNs: 2e6, GCCycles: 5, GCCPUNs: 3e5, HeapAllocBytes: 1 << 20},
 	}
 	data, err := json.Marshal(doc)
@@ -47,23 +59,33 @@ func TestExtractStampedDocument(t *testing.T) {
 		t.Fatalf("meta = %+v", rec.Meta)
 	}
 	want := map[string]float64{
-		"serve_cold_ns":              2.9e6,
-		"serve_warm_ns":              1.45e6,
-		"serve_speedup":              2.0,
-		"serve_cache_hit_rate":       0.99,
-		"phase.scan.ns":              49000,
-		"phase.scan.allocs":          7,
-		"alloc.wc.wall_ns":           236367,
-		"alloc.wc.heap_allocs":       358,
-		"alloc.wc.spilled":           3,
-		"alloc.wc.max_rss_bytes":     32 << 20,
-		"alloc.wc.user_cpu_ns":       5e6,
-		"alloc.total.wall_ns":        236367,
-		"rusage.max_rss_bytes":       64 << 20,
-		"rusage.user_cpu_ns":         9e6,
-		"rusage.sys_cpu_ns":          2e6,
-		"rusage.gc.cycles":           5,
-		"rusage.gc.heap_alloc_bytes": 1 << 20,
+		"serve_cold_ns":                 2.9e6,
+		"serve_warm_ns":                 1.45e6,
+		"serve_speedup":                 2.0,
+		"serve_cache_hit_rate":          0.99,
+		"cluster_cold_ns":               3.1e6,
+		"cluster_warm_ns":               1.6e6,
+		"cluster_warm_hit_rate":         1.0,
+		"cluster_unhedged_p99_ns":       2.9e7,
+		"cluster_hedged_p99_ns":         1.1e7,
+		"cluster_hedge_wins":            12,
+		"cluster_tail_speedup_p99":      2.6,
+		"cluster_persist_admitted":      6,
+		"cluster_persist_rejected_cost": 10,
+		"cluster_restart_warm_hit_rate": 1.0,
+		"phase.scan.ns":                 49000,
+		"phase.scan.allocs":             7,
+		"alloc.wc.wall_ns":              236367,
+		"alloc.wc.heap_allocs":          358,
+		"alloc.wc.spilled":              3,
+		"alloc.wc.max_rss_bytes":        32 << 20,
+		"alloc.wc.user_cpu_ns":          5e6,
+		"alloc.total.wall_ns":           236367,
+		"rusage.max_rss_bytes":          64 << 20,
+		"rusage.user_cpu_ns":            9e6,
+		"rusage.sys_cpu_ns":             2e6,
+		"rusage.gc.cycles":              5,
+		"rusage.gc.heap_alloc_bytes":    1 << 20,
 	}
 	for name, v := range want {
 		if got, ok := rec.Series[name]; !ok || got != v {

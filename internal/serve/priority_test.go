@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestParsePriority(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Priority
+		ok   bool
+	}{
+		{"", PriorityInteractive, true},
+		{"interactive", PriorityInteractive, true},
+		{"batch", PriorityBatch, true},
+		{"urgent", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParsePriority(c.in)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("ParsePriority(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+}
+
+func TestBadPriorityRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	text := workloadText(t, "tiny:6,4", 3)
+	post(t, ts.URL, AllocateRequest{Machine: "tiny:6,4", Program: text, Priority: "urgent"}, http.StatusBadRequest, nil)
+}
+
+// waitWaiting polls the scheduler until the given class has n waiters.
+func waitWaiting(t *testing.T, p *prioSched, pr Priority, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, waiting := p.snapshot()
+		if waiting[pr] == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("class %s never reached %d waiters", pr, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPrioSchedInteractiveFirst checks preemption in the admission
+// queue: with the single worker busy and a batch request already
+// waiting, a later interactive request still runs first.
+func TestPrioSchedInteractiveFirst(t *testing.T) {
+	p := newPrioSched(1)
+	if err := p.acquire(context.Background(), PriorityInteractive); err != nil {
+		t.Fatal(err)
+	}
+
+	order := make(chan Priority, 2)
+	run := func(pr Priority) {
+		if err := p.acquire(context.Background(), pr); err != nil {
+			t.Errorf("acquire(%s): %v", pr, err)
+			return
+		}
+		order <- pr
+		p.release()
+	}
+	go run(PriorityBatch)
+	waitWaiting(t, p, PriorityBatch, 1)
+	go run(PriorityInteractive)
+	waitWaiting(t, p, PriorityInteractive, 1)
+
+	p.release() // free the worker: the interactive waiter must win
+	if first := <-order; first != PriorityInteractive {
+		t.Fatalf("first scheduled class = %s, want interactive", first)
+	}
+	if second := <-order; second != PriorityBatch {
+		t.Fatalf("second scheduled class = %s, want batch", second)
+	}
+	if running, _ := p.snapshot(); running != 0 {
+		t.Errorf("running = %d after all released, want 0", running)
+	}
+}
+
+// TestPrioSchedCancelWhileQueued checks that a waiter that gives up
+// neither leaks a slot nor loses one granted in the race with cancel.
+func TestPrioSchedCancelWhileQueued(t *testing.T) {
+	p := newPrioSched(1)
+	if err := p.acquire(context.Background(), PriorityInteractive); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- p.acquire(ctx, PriorityBatch) }()
+	waitWaiting(t, p, PriorityBatch, 1)
+	cancel()
+	if err := <-errc; err == nil {
+		// The race went grant-first: acquire succeeded despite cancel,
+		// and the caller owns a slot it must release.
+		p.release()
+	}
+	p.release()
+	// Both slots are back: two fresh acquires must succeed immediately.
+	if err := p.acquire(context.Background(), PriorityBatch); err != nil {
+		t.Fatal(err)
+	}
+	if running, waiting := p.snapshot(); running != 1 || waiting[PriorityBatch] != 0 {
+		t.Errorf("running=%d waiting=%v, want 1 running, none waiting", running, waiting)
+	}
+}
+
+// TestQueueMetricsSplit checks the per-class queue depths in /metrics.
+func TestQueueMetricsSplit(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	text := workloadText(t, "tiny:6,4", 9)
+
+	// Park the lone worker.
+	if err := s.sched.acquire(context.Background(), PriorityInteractive); err != nil {
+		t.Fatal(err)
+	}
+
+	body, _ := json.Marshal(&AllocateRequest{Machine: "tiny:6,4", Program: text, Priority: "batch"})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Post(ts.URL+"/allocate", "application/json", bytes.NewReader(body))
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	waitWaiting(t, s.sched, PriorityBatch, 1)
+	m := getMetrics(t, ts.URL)
+	if m.Queue.Batch != 1 || m.Queue.Interactive != 0 || m.Queue.Depth != 1 {
+		t.Errorf("queue metrics = %+v, want 1 batch waiter", m.Queue)
+	}
+	s.sched.release() // let the parked request run
+	<-done
+}

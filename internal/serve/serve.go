@@ -9,10 +9,23 @@
 //
 // Endpoints:
 //
-//	POST /allocate   allocate one program or a batch (AllocateRequest)
-//	GET  /metrics    service counters, queue depth, cache and phase stats
-//	GET  /healthz    liveness; reports "draining" during shutdown
-//	GET  /config     accepted machines, algorithms and limits
+//	POST /allocate      allocate one program or a batch (AllocateRequest)
+//	GET  /metrics       service counters, queue depth, cache and phase stats
+//	GET  /healthz       liveness; reports "draining" during shutdown
+//	GET  /config        accepted machines, algorithms and limits
+//	GET  /cache/export  hottest cache entries in wire form (replication)
+//	POST /cache/seed    install wire-form entries into the cache
+//
+// Requests carry a priority class ("interactive", the default, or
+// "batch"): when every worker is busy, waiting interactive requests are
+// always scheduled before waiting batch requests, so latency-sensitive
+// traffic preempts bulk traffic in the admission queue. With
+// Config.PersistDir set, the result cache gains a disk-backed
+// persistent tier (internal/diskcache) behind the in-memory one: warm
+// entries survive a restart, and cost-aware admission keeps cheap
+// allocations from paying the serialization tax. The export/seed pair
+// is what the cluster layer (internal/cluster) uses to replicate hot
+// entries between nodes on join, leave and on a timer.
 //
 // The server is an http.Handler, so it embeds in tests (httptest) and
 // custom daemons alike; ListenAndServe and Shutdown add the production
@@ -28,6 +41,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -35,6 +49,7 @@ import (
 
 	regalloc "repro"
 	"repro/internal/alloc"
+	"repro/internal/diskcache"
 	"repro/internal/ir"
 	"repro/internal/target"
 )
@@ -73,6 +88,49 @@ type Config struct {
 	// Spec). Least-recently-used engines are dropped beyond the bound —
 	// only their warm scratch arenas are lost (0 = 64).
 	MaxEngines int
+	// PersistDir, when set, backs the result cache with a disk tier in
+	// this directory (internal/diskcache): entries survive restarts and
+	// are admitted cost-aware. Requires caching (CacheEntries >= 0).
+	PersistDir string
+	// PersistEntries bounds the disk tier (0 = diskcache default).
+	PersistEntries int
+	// PersistCostFactor is the disk tier's admission bar (0 = diskcache
+	// default; negative admits everything).
+	PersistCostFactor float64
+}
+
+// Priority is a request's scheduling class.
+type Priority uint8
+
+const (
+	// PriorityInteractive is the default class: latency-sensitive
+	// traffic, always scheduled before waiting batch work.
+	PriorityInteractive Priority = iota
+	// PriorityBatch marks bulk traffic that yields to interactive
+	// requests whenever workers are contended.
+	PriorityBatch
+
+	numPriorities
+)
+
+// String returns the wire spelling of the class.
+func (p Priority) String() string {
+	if p == PriorityBatch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// ParsePriority reads a request's priority field; empty selects
+// interactive.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "", "interactive":
+		return PriorityInteractive, nil
+	case "batch":
+		return PriorityBatch, nil
+	}
+	return 0, fmt.Errorf("unknown priority %q (want interactive or batch)", s)
 }
 
 // AllocateRequest is the POST /allocate body. Exactly one of Program or
@@ -87,6 +145,9 @@ type AllocateRequest struct {
 	Program string `json:"program,omitempty"`
 	// Programs is a batch of programs allocated in order.
 	Programs []string `json:"programs,omitempty"`
+	// Priority is the scheduling class: "interactive" (default) or
+	// "batch". Interactive requests preempt batch in the worker queue.
+	Priority string `json:"priority,omitempty"`
 }
 
 // AllocatedProgram is one program's slice of an AllocateResponse.
@@ -125,8 +186,15 @@ type Metrics struct {
 	UptimeNs int64          `json:"uptime_ns"`
 	Requests RequestMetrics `json:"requests"`
 	Queue    QueueMetrics   `json:"queue"`
-	// Cache is present when caching is enabled.
+	// Cache is present when caching is enabled (the in-memory tier when
+	// a persistent tier is also configured).
 	Cache *CacheMetrics `json:"cache,omitempty"`
+	// Persist is present when the disk-backed tier is configured: its
+	// own hit/miss/entry counters plus cost-aware admission stats.
+	Persist *PersistMetrics `json:"persist,omitempty"`
+	// Peering counts cache entries moved through /cache/export and
+	// /cache/seed (cluster replication traffic).
+	Peering PeeringMetrics `json:"peering"`
 	// Programs counts allocated programs (cache hits included);
 	// CachedPrograms the subset served from the cache; Procs the
 	// procedures allocated by actual pipeline runs.
@@ -168,6 +236,10 @@ type QueueMetrics struct {
 	// Executing the number currently allocating.
 	Depth     int `json:"depth"`
 	Executing int `json:"executing"`
+	// Interactive and Batch split Depth by priority class; interactive
+	// waiters are always scheduled first.
+	Interactive int `json:"interactive"`
+	Batch       int `json:"batch"`
 	// Capacity is Depth's bound, Workers Executing's.
 	Capacity int `json:"capacity"`
 	Workers  int `json:"workers"`
@@ -177,6 +249,24 @@ type QueueMetrics struct {
 type CacheMetrics struct {
 	regalloc.CacheStats
 	HitRate float64 `json:"hit_rate"`
+}
+
+// PersistMetrics is the disk-tier section of Metrics.
+type PersistMetrics struct {
+	regalloc.CacheStats
+	HitRate   float64                  `json:"hit_rate"`
+	Admission diskcache.AdmissionStats `json:"admission"`
+}
+
+// PeeringMetrics counts replication traffic through the cache
+// export/seed endpoints.
+type PeeringMetrics struct {
+	// Exported counts entries served by /cache/export; Seeded entries
+	// installed by /cache/seed; SeedRejected seed payloads that failed
+	// to decode.
+	Exported     uint64 `json:"exported"`
+	Seeded       uint64 `json:"seeded"`
+	SeedRejected uint64 `json:"seed_rejected"`
 }
 
 // HeapMetrics is the process heap-allocation section of Metrics.
@@ -205,6 +295,7 @@ type engineEntry struct {
 type Server struct {
 	cfg   Config
 	cache regalloc.ResultCache
+	disk  *diskcache.Cache // nil unless PersistDir is set
 	mux   *http.ServeMux
 	start time.Time
 
@@ -213,7 +304,7 @@ type Server struct {
 	engineLRU *list.List // front = most recently used
 
 	slots chan struct{} // admission: executing + queued
-	work  chan struct{} // executing
+	sched *prioSched    // executing, priority-ordered handoff
 
 	// drainMu orders admission against Shutdown: draining flips and
 	// wg.Add both happen under it, so wg.Wait (called after the flip)
@@ -225,12 +316,13 @@ type Server struct {
 	httpMu  sync.Mutex
 	httpSrv *http.Server
 
-	reqTotal, reqOK, reqErrors atomic.Uint64
-	reqRejected, reqDraining   atomic.Uint64
-	reqCancelled               atomic.Uint64
-	programs, cachedPrograms   atomic.Uint64
-	procs                      atomic.Uint64
-	allocWallNs                atomic.Int64
+	reqTotal, reqOK, reqErrors     atomic.Uint64
+	reqRejected, reqDraining       atomic.Uint64
+	reqCancelled                   atomic.Uint64
+	programs, cachedPrograms       atomic.Uint64
+	procs                          atomic.Uint64
+	allocWallNs                    atomic.Int64
+	exported, seeded, seedRejected atomic.Uint64
 
 	phaseMu sync.Mutex
 	phases  alloc.PhaseTimes
@@ -271,18 +363,109 @@ func New(cfg Config) (*Server, error) {
 		engines:   make(map[engineKey]*list.Element),
 		engineLRU: list.New(),
 		slots:     make(chan struct{}, cfg.Workers+cfg.QueueDepth),
-		work:      make(chan struct{}, cfg.Workers),
+		sched:     newPrioSched(cfg.Workers),
 		start:     time.Now(),
 	}
 	if cfg.CacheEntries >= 0 {
-		s.cache = regalloc.NewShardedCache(cfg.CacheEntries, cfg.CacheShards)
+		mem := regalloc.NewShardedCache(cfg.CacheEntries, cfg.CacheShards)
+		if cfg.PersistDir != "" {
+			disk, err := diskcache.Open(diskcache.Config{
+				Dir:        cfg.PersistDir,
+				MaxEntries: cfg.PersistEntries,
+				CostFactor: cfg.PersistCostFactor,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("serve: %w", err)
+			}
+			s.disk = disk
+			s.cache = regalloc.NewTieredCache(mem, disk)
+		} else {
+			s.cache = mem
+		}
+	} else if cfg.PersistDir != "" {
+		return nil, fmt.Errorf("serve: PersistDir requires caching (CacheEntries >= 0)")
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/allocate", s.handleAllocate)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/config", s.handleConfig)
+	s.mux.HandleFunc("/cache/export", s.handleCacheExport)
+	s.mux.HandleFunc("/cache/seed", s.handleCacheSeed)
 	return s, nil
+}
+
+// prioSched hands the worker slots out in strict priority order: a
+// freed slot goes to the longest-waiting interactive request if any is
+// queued, else to the longest-waiting batch request. Slots are handed
+// over directly (the releaser wakes exactly one waiter without
+// decrementing the running count), so priority is enforced at every
+// handoff, not just on arrival.
+type prioSched struct {
+	mu      sync.Mutex
+	workers int
+	running int
+	waiters [numPriorities]list.List // of chan struct{}, FIFO per class
+}
+
+func newPrioSched(workers int) *prioSched {
+	return &prioSched{workers: workers}
+}
+
+// acquire blocks until a worker slot is granted or ctx is done.
+func (p *prioSched) acquire(ctx context.Context, pr Priority) error {
+	p.mu.Lock()
+	if p.running < p.workers {
+		p.running++
+		p.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	el := p.waiters[pr].PushBack(ch)
+	p.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		select {
+		case <-ch:
+			// Granted between ctx.Done and taking the lock: we own a
+			// slot nobody will use — pass it on.
+			p.mu.Unlock()
+			p.release()
+		default:
+			p.waiters[pr].Remove(el)
+			p.mu.Unlock()
+		}
+		return ctx.Err()
+	}
+}
+
+// release frees a worker slot, handing it to the highest-priority
+// waiter if any.
+func (p *prioSched) release() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := Priority(0); c < numPriorities; c++ {
+		if el := p.waiters[c].Front(); el != nil {
+			p.waiters[c].Remove(el)
+			close(el.Value.(chan struct{})) // slot handed over; running unchanged
+			return
+		}
+	}
+	p.running--
+}
+
+// snapshot samples the scheduler for /metrics.
+func (p *prioSched) snapshot() (running int, waiting [numPriorities]int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	running = p.running
+	for c := range p.waiters {
+		waiting[c] = p.waiters[c].Len()
+	}
+	return
 }
 
 // Cache returns the server's result cache (nil when disabled).
@@ -475,6 +658,11 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("no program in request"))
 		return
 	}
+	prio, err := ParsePriority(req.Priority)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
 
 	switch s.admit() {
 	case admitDraining:
@@ -497,17 +685,16 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Wait (queued) for an execution slot; the admission bound above
-	// caps how many requests can be waiting here. A client that gives
-	// up while queued releases its slot instead of occupying a worker
-	// with work nobody will read.
-	select {
-	case s.work <- struct{}{}:
-	case <-r.Context().Done():
+	// caps how many requests can be waiting here, and the scheduler
+	// hands freed slots to interactive waiters before batch ones. A
+	// client that gives up while queued releases its slot instead of
+	// occupying a worker with work nobody will read.
+	if err := s.sched.acquire(r.Context(), prio); err != nil {
 		s.reqCancelled.Add(1)
 		writeJSON(w, statusClientClosedRequest, ErrorResponse{Error: "client went away while queued"})
 		return
 	}
-	defer func() { <-s.work }()
+	defer s.sched.release()
 
 	resp := AllocateResponse{Machine: req.Machine, Algorithm: eng.Algorithm()}
 	for i, text := range texts {
@@ -585,23 +772,35 @@ func (s *Server) Metrics() Metrics {
 			Draining:  s.reqDraining.Load(),
 			Cancelled: s.reqCancelled.Load(),
 		},
-		Queue: QueueMetrics{
-			Depth:     len(s.slots) - len(s.work),
-			Executing: len(s.work),
-			Capacity:  s.cfg.QueueDepth,
-			Workers:   s.cfg.Workers,
-		},
 		Programs:       s.programs.Load(),
 		CachedPrograms: s.cachedPrograms.Load(),
 		Procs:          s.procs.Load(),
 		AllocWallNs:    s.allocWallNs.Load(),
+		Peering: PeeringMetrics{
+			Exported:     s.exported.Load(),
+			Seeded:       s.seeded.Load(),
+			SeedRejected: s.seedRejected.Load(),
+		},
 	}
-	if m.Queue.Depth < 0 {
-		m.Queue.Depth = 0
+	running, waiting := s.sched.snapshot()
+	m.Queue = QueueMetrics{
+		Depth:       waiting[PriorityInteractive] + waiting[PriorityBatch],
+		Executing:   running,
+		Interactive: waiting[PriorityInteractive],
+		Batch:       waiting[PriorityBatch],
+		Capacity:    s.cfg.QueueDepth,
+		Workers:     s.cfg.Workers,
 	}
 	if s.cache != nil {
 		st := s.cache.Stats()
+		if tc, ok := s.cache.(*regalloc.TieredCache); ok {
+			st, _ = tc.TierStats()
+		}
 		m.Cache = &CacheMetrics{CacheStats: st, HitRate: st.HitRate()}
+	}
+	if s.disk != nil {
+		st := s.disk.Stats()
+		m.Persist = &PersistMetrics{CacheStats: st, HitRate: st.HitRate(), Admission: s.disk.Admission()}
 	}
 	s.phaseMu.Lock()
 	pt := s.phases
@@ -633,6 +832,88 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, map[string]string{"status": status})
 }
 
+// CacheExportResponse is the GET /cache/export document: the hottest
+// cache entries in wire form (diskcache.Entry), newest first.
+type CacheExportResponse struct {
+	Entries []json.RawMessage `json:"entries"`
+}
+
+// CacheSeedRequest is the POST /cache/seed body: wire-form entries to
+// install. CacheSeedResponse reports how many were installed.
+type CacheSeedRequest struct {
+	Entries []json.RawMessage `json:"entries"`
+}
+
+// CacheSeedResponse is the POST /cache/seed reply.
+type CacheSeedResponse struct {
+	Seeded   int `json:"seeded"`
+	Rejected int `json:"rejected"`
+}
+
+// handleCacheExport serves the hottest n (default 64) cache entries in
+// wire form — the pull side of cluster replication.
+func (s *Server) handleCacheExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "GET only"})
+		return
+	}
+	n := 64
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad n"})
+			return
+		}
+		n = v
+	}
+	resp := CacheExportResponse{Entries: []json.RawMessage{}}
+	if hl, ok := s.cache.(regalloc.HotLister); ok {
+		for _, he := range hl.Hottest(n) {
+			data, err := diskcache.Encode(he.Key, he.Entry)
+			if err != nil {
+				continue
+			}
+			resp.Entries = append(resp.Entries, data)
+		}
+	}
+	s.exported.Add(uint64(len(resp.Entries)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCacheSeed installs wire-form entries into the cache — the push
+// side of cluster replication. Entries that fail to decode are counted
+// and skipped, never fatal: a partially corrupt replication batch still
+// warms what it can.
+func (s *Server) handleCacheSeed(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST only"})
+		return
+	}
+	if s.cache == nil {
+		writeJSON(w, http.StatusConflict, ErrorResponse{Error: "caching disabled"})
+		return
+	}
+	var req CacheSeedRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("bad seed body: %v", err)})
+		return
+	}
+	var resp CacheSeedResponse
+	for _, raw := range req.Entries {
+		key, entry, err := diskcache.Decode(raw)
+		if err != nil {
+			resp.Rejected++
+			continue
+		}
+		s.cache.Put(key, entry)
+		resp.Seeded++
+	}
+	s.seeded.Add(uint64(resp.Seeded))
+	s.seedRejected.Add(uint64(resp.Rejected))
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // configDoc is the GET /config document: what the daemon serves.
 type configDoc struct {
 	Machines     []string `json:"machines"`
@@ -641,6 +922,10 @@ type configDoc struct {
 	QueueDepth   int      `json:"queue_depth"`
 	CacheEntries int      `json:"cache_entries"`
 	Verify       bool     `json:"verify"`
+	// Priorities lists the accepted scheduling classes; Persist reports
+	// whether a disk-backed cache tier is configured.
+	Priorities []string `json:"priorities"`
+	Persist    bool     `json:"persist"`
 }
 
 func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
@@ -659,6 +944,8 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 		QueueDepth:   s.cfg.QueueDepth,
 		CacheEntries: cacheEntries,
 		Verify:       s.cfg.Verify,
+		Priorities:   []string{PriorityInteractive.String(), PriorityBatch.String()},
+		Persist:      s.disk != nil,
 	})
 }
 

@@ -1,0 +1,106 @@
+package regalloc
+
+import (
+	"fmt"
+	"testing"
+)
+
+func tieredKV(i int) (CacheKey, *CachedAllocation) {
+	return CacheKey(fmt.Sprintf("k%d", i)), &CachedAllocation{}
+}
+
+func TestShardedCacheHottest(t *testing.T) {
+	c := NewShardedCache(16, 1) // one shard: exact MRU order
+	for i := 0; i < 4; i++ {
+		k, v := tieredKV(i)
+		c.Put(k, v)
+	}
+	k1, _ := tieredKV(1)
+	c.Get(k1) // k1 becomes most recent
+
+	hl, ok := c.(HotLister)
+	if !ok {
+		t.Fatal("sharded cache does not implement HotLister")
+	}
+	hot := hl.Hottest(2)
+	if len(hot) != 2 {
+		t.Fatalf("Hottest(2) returned %d entries", len(hot))
+	}
+	if hot[0].Key != k1 {
+		t.Errorf("hottest entry = %s, want k1", hot[0].Key)
+	}
+	if got := hl.Hottest(100); len(got) != 4 {
+		t.Errorf("Hottest(100) returned %d entries, want all 4", len(got))
+	}
+	if got := hl.Hottest(0); len(got) != 0 {
+		t.Errorf("Hottest(0) returned %d entries", len(got))
+	}
+}
+
+// declineCache is a slow tier that rejects every Put (an admission bar
+// that nothing clears) but records the attempts.
+type declineCache struct {
+	puts   int
+	misses uint64
+}
+
+func (d *declineCache) Get(CacheKey) (*CachedAllocation, bool) { d.misses++; return nil, false }
+func (d *declineCache) Put(CacheKey, *CachedAllocation)        { d.puts++ }
+func (d *declineCache) Stats() CacheStats                      { return CacheStats{Misses: d.misses} }
+
+func TestTieredCachePromoteOnSlowHit(t *testing.T) {
+	fast := NewShardedCache(8, 1)
+	slow := NewShardedCache(8, 1)
+	tc := NewTieredCache(fast, slow)
+
+	k, v := tieredKV(1)
+	slow.Put(k, v) // only the slow tier holds it (e.g. after a restart)
+	if _, ok := tc.Get(k); !ok {
+		t.Fatal("tiered Get missed an entry the slow tier holds")
+	}
+	// The hit must have promoted the entry into the fast tier.
+	if _, ok := fast.Get(k); !ok {
+		t.Error("slow-tier hit was not promoted to the fast tier")
+	}
+	if _, ok := tc.Get(CacheKey("absent")); ok {
+		t.Error("tiered Get invented an entry")
+	}
+	st := tc.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("composite stats = %+v, want 2 hits (1 fast + 1 slow), 1 miss", st)
+	}
+}
+
+func TestTieredCachePutWritesBothTiers(t *testing.T) {
+	fast := NewShardedCache(8, 1)
+	decline := &declineCache{}
+	tc := NewTieredCache(fast, decline)
+
+	k, v := tieredKV(2)
+	tc.Put(k, v)
+	if decline.puts != 1 {
+		t.Errorf("slow tier saw %d puts, want 1", decline.puts)
+	}
+	// The slow tier declined, the fast tier must still serve it.
+	if _, ok := tc.Get(k); !ok {
+		t.Error("entry lost when the slow tier declined the Put")
+	}
+	fastStats, slowStats := tc.TierStats()
+	if fastStats.Hits != 1 {
+		t.Errorf("fast tier hits = %d, want 1", fastStats.Hits)
+	}
+	if slowStats.Misses != 0 {
+		t.Errorf("slow tier misses = %d, want 0 (fast tier hit first)", slowStats.Misses)
+	}
+}
+
+func TestTieredCacheHottestDelegatesToFastTier(t *testing.T) {
+	fast := NewShardedCache(8, 1)
+	tc := NewTieredCache(fast, &declineCache{})
+	k, v := tieredKV(3)
+	tc.Put(k, v)
+	hot := tc.Hottest(10)
+	if len(hot) != 1 || hot[0].Key != k {
+		t.Errorf("Hottest = %v, want the one fast-tier entry", hot)
+	}
+}
