@@ -20,6 +20,13 @@
 //
 // Benchmarks present in only one file are reported but never fail the
 // gate (renames should not break CI); missing baselines are a warning.
+//
+// Both files carry a host fingerprint (the goos/goarch/cpu lines `go
+// test -bench` writes). When the baseline's fingerprint does not match
+// the fresh run's, time/op violations demote to warnings — comparing
+// wall time across runner classes measures the hardware, not the code —
+// while allocs/op violations (including the from-zero rule) still fail
+// the gate on any host.
 package main
 
 import (
@@ -40,24 +47,28 @@ type sampleKey struct {
 	metric string
 }
 
-// parseBenchFile extracts metric samples from `go test -bench` output.
-// Lines look like:
+// parseBenchFile extracts metric samples from `go test -bench` output,
+// plus the host fingerprint from its goos/goarch/cpu header lines.
+// Benchmark lines look like:
 //
 //	BenchmarkTable3/fpppp.f/binpack-8  3  76683398 ns/op  20824458 B/op  156519 allocs/op
 //
 // The trailing -N GOMAXPROCS suffix is stripped so baselines survive
 // runner-shape changes. Value/unit pairs follow the iteration count.
-func parseBenchFile(path string) (map[sampleKey][]float64, error) {
+func parseBenchFile(path string) (map[sampleKey][]float64, string, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	defer f.Close()
 	samples := make(map[sampleKey][]float64)
+	fp := fingerprint{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
-		name, pairs, ok := parseBenchLine(sc.Text())
+		line := sc.Text()
+		fp.observe(line)
+		name, pairs, ok := parseBenchLine(line)
 		if !ok {
 			continue
 		}
@@ -66,7 +77,43 @@ func parseBenchFile(path string) (map[sampleKey][]float64, error) {
 			samples[k] = append(samples[k], p.value)
 		}
 	}
-	return samples, sc.Err()
+	return samples, fp.String(), sc.Err()
+}
+
+// fingerprint identifies the runner class a bench file was produced on.
+// `go test -bench` stamps goos/goarch/cpu header lines into its output,
+// so a committed baseline carries its own provenance; the hostname is
+// deliberately excluded (CI runners are ephemeral, their hardware class
+// is not).
+type fingerprint struct {
+	goos, goarch, cpu string
+}
+
+func (fp *fingerprint) observe(line string) {
+	if v, ok := strings.CutPrefix(line, "goos: "); ok {
+		fp.goos = strings.TrimSpace(v)
+	} else if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+		fp.goarch = strings.TrimSpace(v)
+	} else if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+		fp.cpu = strings.TrimSpace(v)
+	}
+}
+
+// String renders the fingerprint, or "" when the file carried no header
+// lines at all (hand-built fixtures, truncated output).
+func (fp fingerprint) String() string {
+	if fp.goos == "" && fp.goarch == "" && fp.cpu == "" {
+		return ""
+	}
+	return fp.goos + "/" + fp.goarch + "/" + fp.cpu
+}
+
+// isTimeMetric reports whether a unit measures wall time. Time metrics
+// shift with the hardware underneath them, so a fingerprint mismatch
+// demotes their violations to warnings; allocs/op is a property of the
+// code, not the machine, and always gates.
+func isTimeMetric(unit string) bool {
+	return unit == "ns/op" || unit == "sec/op"
 }
 
 type metricPair struct {
@@ -122,15 +169,24 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	oldS, err := parseBenchFile(*oldPath)
+	oldS, oldFP, err := parseBenchFile(*oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(2)
 	}
-	newS, err := parseBenchFile(*newPath)
+	newS, newFP, err := parseBenchFile(*newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(2)
+	}
+	// A baseline recorded on a different runner class cannot anchor
+	// wall-time comparisons: the time/op gate would fire on hardware
+	// deltas, not code deltas. Demote time violations to warnings and
+	// say so loudly; allocs/op keeps gating regardless.
+	hostMismatch := oldFP != "" && newFP != "" && oldFP != newFP
+	if hostMismatch {
+		fmt.Printf("benchguard: HOST MISMATCH — baseline %q vs this run %q\n", oldFP, newFP)
+		fmt.Println("benchguard: time/op regressions are warnings only on this run; regenerate bench/baseline.txt on the current runner class to re-arm the time gate")
 	}
 
 	gate := thresholds(*timeThresh, *allocThresh)
@@ -155,6 +211,7 @@ func main() {
 	})
 
 	var violations []string
+	warnings := 0
 	missing := 0
 	for _, k := range keys {
 		oldV, ok := oldS[k]
@@ -180,8 +237,13 @@ func main() {
 			violated = p < *alpha
 		}
 		if violated {
-			verdict = "REGRESSION"
-			violations = append(violations, violationMessage(k, om, nm, deltaStr, p, gate[k.metric]))
+			if hostMismatch && isTimeMetric(k.metric) {
+				verdict = "WARN"
+				warnings++
+			} else {
+				verdict = "REGRESSION"
+				violations = append(violations, violationMessage(k, om, nm, deltaStr, p, gate[k.metric]))
+			}
 		}
 		fmt.Printf("%-8s %-60s %-10s old=%.4g new=%.4g delta=%s p=%.3f\n",
 			verdict, k.bench, k.metric, om, nm, deltaStr, p)
@@ -215,6 +277,9 @@ func main() {
 	}
 	if gone > 0 {
 		fmt.Printf("benchguard: %d baseline series disappeared — regenerate bench/baseline.txt if intentional\n", gone)
+	}
+	if warnings > 0 {
+		fmt.Printf("benchguard: %d time/op violation(s) demoted to warnings (host mismatch)\n", warnings)
 	}
 	if len(violations) > 0 {
 		// One self-contained line per violation, on stderr: CI log

@@ -49,6 +49,7 @@ func TestParseBenchFile(t *testing.T) {
 	path := filepath.Join(dir, "bench.txt")
 	content := `goos: linux
 goarch: amd64
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkA-8   3   100 ns/op   10 allocs/op
 BenchmarkA-8   3   110 ns/op   10 allocs/op
 BenchmarkB-8   3   50 ns/op
@@ -57,7 +58,7 @@ PASS
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	s, err := parseBenchFile(path)
+	s, fp, err := parseBenchFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,6 +67,42 @@ PASS
 	}
 	if got := s[sampleKey{"BenchmarkB", "ns/op"}]; len(got) != 1 || got[0] != 50 {
 		t.Fatalf("BenchmarkB ns/op samples = %v", got)
+	}
+	if want := "linux/amd64/Intel(R) Xeon(R) Processor @ 2.10GHz"; fp != want {
+		t.Fatalf("fingerprint = %q, want %q", fp, want)
+	}
+}
+
+// TestFingerprint pins what identifies a runner class (goos/goarch/cpu —
+// never the hostname) and that headerless files yield the empty
+// fingerprint so the mismatch demotion cannot trigger on fixtures.
+func TestFingerprint(t *testing.T) {
+	var fp fingerprint
+	if fp.String() != "" {
+		t.Fatalf("empty fingerprint renders %q, want \"\"", fp.String())
+	}
+	for _, line := range []string{
+		"goos: linux",
+		"goarch: arm64",
+		"cpu: Apple M2",
+		"pkg: repro",           // ignored
+		"BenchmarkX 1 2 ns/op", // ignored
+	} {
+		fp.observe(line)
+	}
+	if want := "linux/arm64/Apple M2"; fp.String() != want {
+		t.Fatalf("fingerprint = %q, want %q", fp.String(), want)
+	}
+}
+
+func TestIsTimeMetric(t *testing.T) {
+	for unit, want := range map[string]bool{
+		"ns/op": true, "sec/op": true,
+		"allocs/op": false, "B/op": false, "MB/s": false,
+	} {
+		if got := isTimeMetric(unit); got != want {
+			t.Errorf("isTimeMetric(%q) = %v, want %v", unit, got, want)
+		}
 	}
 }
 

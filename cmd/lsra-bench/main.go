@@ -70,6 +70,11 @@ type benchOutput struct {
 	// routing over three nodes, the hedged-request tail-latency duel,
 	// cost-aware disk admission, and the restart-warm hit rate.
 	Cluster *clusterBench `json:"cluster,omitempty"`
+	// Corpus is the binary-codec throughput ladder: mmap'd corpus
+	// decode rates per rung, decode+allocate rate, and the cold
+	// text-vs-binary serve duel. Not part of -all: rung sizes make its
+	// runtime an explicit choice.
+	Corpus *corpusBench `json:"corpus,omitempty"`
 	// Resources is the process-wide resource delta over all selected
 	// sections: getrusage (max RSS, user/system CPU) plus GC counters.
 	Resources *perfdb.Resources `json:"resources,omitempty"`
@@ -198,29 +203,34 @@ func resolveCommit(override string) string {
 
 func main() {
 	var (
-		t1      = flag.Bool("table1", false, "regenerate Table 1")
-		t2      = flag.Bool("table2", false, "regenerate Table 2")
-		f3      = flag.Bool("figure3", false, "regenerate Figure 3 data")
-		t3      = flag.Bool("table3", false, "regenerate Table 3")
-		abl     = flag.Bool("ablation", false, "run the two-pass and feature ablations")
-		sweep   = flag.Bool("sweep", false, "registers-vs-quality sweep across machine shapes")
-		sweepB  = flag.String("sweep-bench", "eqntott", "benchmark the -sweep runs")
-		srv     = flag.Bool("serve", false, "allocation-service steady-state benchmark (cold vs. warm cache)")
-		clu     = flag.Bool("cluster", false, "sharded-cluster benchmark (routing, hedging, persistent tier)")
-		allocF  = flag.Bool("alloc", false, "per-benchmark engine allocation reports")
-		all     = flag.Bool("all", false, "run everything")
-		scale   = flag.Float64("scale", 1.0, "workload scale multiplier")
-		jsonOut = flag.Bool("json", false, "emit the selected sections as JSON")
-		algo    = flag.String("algo", "binpack", "allocator for -alloc reports")
-		jobs    = flag.Int("jobs", 0, "parallel workers for -alloc (0 = all CPUs)")
-		phases  = flag.Bool("phases", false, "sample per-phase heap allocations in -alloc reports")
-		commit  = flag.String("commit", "", "commit `sha` to stamp (default: git rev-parse HEAD)")
+		t1          = flag.Bool("table1", false, "regenerate Table 1")
+		t2          = flag.Bool("table2", false, "regenerate Table 2")
+		f3          = flag.Bool("figure3", false, "regenerate Figure 3 data")
+		t3          = flag.Bool("table3", false, "regenerate Table 3")
+		abl         = flag.Bool("ablation", false, "run the two-pass and feature ablations")
+		sweep       = flag.Bool("sweep", false, "registers-vs-quality sweep across machine shapes")
+		sweepB      = flag.String("sweep-bench", "eqntott", "benchmark the -sweep runs")
+		srv         = flag.Bool("serve", false, "allocation-service steady-state benchmark (cold vs. warm cache)")
+		clu         = flag.Bool("cluster", false, "sharded-cluster benchmark (routing, hedging, persistent tier)")
+		corpusF     = flag.Bool("corpus", false, "binary-codec throughput ladder over an mmap'd corpus (excluded from -all)")
+		corpusFile  = flag.String("corpus-file", "", "existing corpus file (empty = generate a temporary one)")
+		corpusprogs = flag.Int("corpus-programs", 20000, "distinct programs in the generated corpus")
+		corpusRungs = flag.String("corpus-rungs", "100000,1000000,10000000", "comma-separated ladder rung sizes")
+		corpusWork  = flag.Int("corpus-workers", 0, "ladder decode workers (0 = GOMAXPROCS)")
+		allocF      = flag.Bool("alloc", false, "per-benchmark engine allocation reports")
+		all         = flag.Bool("all", false, "run everything")
+		scale       = flag.Float64("scale", 1.0, "workload scale multiplier")
+		jsonOut     = flag.Bool("json", false, "emit the selected sections as JSON")
+		algo        = flag.String("algo", "binpack", "allocator for -alloc reports")
+		jobs        = flag.Int("jobs", 0, "parallel workers for -alloc (0 = all CPUs)")
+		phases      = flag.Bool("phases", false, "sample per-phase heap allocations in -alloc reports")
+		commit      = flag.String("commit", "", "commit `sha` to stamp (default: git rev-parse HEAD)")
 	)
 	flag.Parse()
 	if *all {
 		*t1, *t2, *f3, *t3, *abl, *sweep, *srv, *clu, *allocF = true, true, true, true, true, true, true, true, true
 	}
-	if !*t1 && !*t2 && !*f3 && !*t3 && !*abl && !*sweep && !*srv && !*clu && !*allocF {
+	if !*t1 && !*t2 && !*f3 && !*t3 && !*abl && !*sweep && !*srv && !*clu && !*allocF && !*corpusF {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -275,6 +285,15 @@ func main() {
 	}
 	if *clu {
 		if out.Cluster, err = runClusterBench("x86-8"); err != nil {
+			die(err)
+		}
+	}
+	if *corpusF {
+		rungs, err := parseRungs(*corpusRungs)
+		if err != nil {
+			die(err)
+		}
+		if out.Corpus, err = runCorpusBench(*corpusFile, *corpusprogs, rungs, *corpusWork); err != nil {
 			die(err)
 		}
 	}
@@ -421,6 +440,30 @@ func printText(out *benchOutput) {
 			time.Duration(cb.UnhedgedP50Ns).Round(time.Microsecond), time.Duration(cb.HedgedP50Ns).Round(time.Microsecond),
 			time.Duration(cb.UnhedgedP99Ns).Round(time.Microsecond), time.Duration(cb.HedgedP99Ns).Round(time.Microsecond),
 			cb.TailSpeedupP99, cb.HedgeWins)
+		fmt.Println()
+	}
+
+	if out.Corpus != nil {
+		cb := out.Corpus
+		fmt.Println("Corpus: binary-codec throughput ladder (mmap'd corpus, zero-copy decode)")
+		fmt.Printf("  corpus: %d distinct programs, %.1f MiB (%.0f bytes/program), %d workers\n",
+			cb.CorpusPrograms, float64(cb.CorpusBytes)/(1<<20),
+			float64(cb.CorpusBytes)/float64(max(cb.CorpusPrograms, 1)), cb.Workers)
+		fmt.Printf("%12s %14s %16s %12s %12s\n",
+			"programs", "elapsed", "programs/sec", "MB/sec", "allocs/prog")
+		for _, rg := range cb.Rungs {
+			fmt.Printf("%12d %14v %16.0f %12.1f %12.4f\n",
+				rg.Programs, time.Duration(rg.ElapsedNs).Round(time.Millisecond),
+				rg.ProgramsPerSec, rg.MBPerSec, rg.AllocsPerProgram)
+		}
+		if a := cb.Alloc; a != nil {
+			fmt.Printf("  decode+allocate (%s, %s): %d programs, %d ns/program (%.0f programs/sec, decode share %.1f%%)\n",
+				a.Machine, a.Algorithm, a.Programs, a.NsPerProgram, a.ProgramsPerSec, 100*a.DecodeShare)
+		}
+		if d := cb.ServeDuel; d != nil {
+			fmt.Printf("  serve cold duel (%s, %d programs): text %d ns/program vs binary %d ns/program (%.2fx)\n",
+				d.Machine, d.Programs, d.ColdTextNsPerProgram, d.ColdBinaryNsPerProgram, d.Speedup)
+		}
 		fmt.Println()
 	}
 

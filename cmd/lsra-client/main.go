@@ -11,6 +11,10 @@
 // ring successors on node loss, and — with -hedge — race a duplicate to
 // the successor when the owner is slow. 429 + Retry-After responses are
 // always honored with bounded backoff rather than treated as failures.
+// With -topology pointing at a cluster admin endpoint (lsra-cluster
+// -admin), the node table tracks the live membership: polled on
+// -topology-refresh and immediately after a failover streak, so joins
+// and leaves do not require a restart.
 //
 // By default the allocated program is printed to stdout and a one-line
 // summary (serving node, cache status, candidates, spills, wall time)
@@ -57,6 +61,9 @@ func main() {
 		attempts = flag.Int("attempts", 0, "max distinct nodes to try per request (0 = client default)")
 		hedge    = flag.Duration("hedge", 0, "send a duplicate to the next node after this long (0 = no hedging)")
 		retries  = flag.Int("retries-429", 0, "re-sends per node after 429 + Retry-After (0 = client default)")
+
+		topology        = flag.String("topology", "", "cluster admin /topology URL; the node table tracks it instead of staying fixed at -addr")
+		topologyRefresh = flag.Duration("topology-refresh", 0, "poll period for -topology (0 = client default)")
 	)
 	flag.Parse()
 
@@ -107,12 +114,15 @@ func main() {
 	}
 
 	cl := cluster.NewClient(cluster.ClientConfig{
-		Nodes:         nodes,
-		MaxAttempts:   *attempts,
-		HedgeDelay:    *hedge,
-		Max429Retries: *retries,
-		HTTPClient:    &http.Client{Timeout: *timeout},
+		Nodes:            nodes,
+		MaxAttempts:      *attempts,
+		HedgeDelay:       *hedge,
+		Max429Retries:    *retries,
+		HTTPClient:       &http.Client{Timeout: *timeout},
+		TopologyURL:      *topology,
+		TopologyInterval: *topologyRefresh,
 	})
+	defer cl.Close()
 	out, node, err := cl.Allocate(context.Background(), req)
 	if err != nil {
 		die(err)

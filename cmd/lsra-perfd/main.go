@@ -22,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -94,13 +95,22 @@ func main() {
 }
 
 // backfillFile ingests one bench JSON file, synthesizing v0 identity
-// from git (or mtime) when the document carries no meta stamp.
+// from git (or mtime) when the document carries no meta stamp. The
+// fallback (and its mtime warning) is computed only for unstamped
+// documents — a stamped file carries its own provenance.
 func backfillFile(store *perfdb.Store, path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	rec, err := perfdb.Extract(data, fallbackMeta(path))
+	var probe struct {
+		Meta *perfdb.Meta `json:"meta"`
+	}
+	fallback := perfdb.Meta{}
+	if json.Unmarshal(data, &probe) != nil || probe.Meta == nil {
+		fallback = fallbackMeta(path)
+	}
+	rec, err := perfdb.Extract(data, fallback)
 	if err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
@@ -120,7 +130,12 @@ func backfillFile(store *perfdb.Store, path string) error {
 
 // fallbackMeta builds the v0 identity for an unstamped file: the commit
 // that last touched it and that commit's UTC date, from git; file mtime
-// when git is unavailable (exported tarballs, tests).
+// only as a last resort (exported tarballs, untracked files), and
+// loudly — an mtime is whenever the file was last copied, not when the
+// benchmark ran, so records stamped with it can land anywhere on the
+// timeline. Note that `git log -- <untracked>` exits 0 with empty
+// output, so the empty-output case must fall through here too rather
+// than being mistaken for provenance.
 func fallbackMeta(path string) perfdb.Meta {
 	meta := perfdb.Meta{}
 	out, err := exec.Command("git", "-C", filepath.Dir(absOrSelf(path)),
@@ -136,8 +151,14 @@ func fallbackMeta(path string) perfdb.Meta {
 	}
 	if st, serr := os.Stat(path); serr == nil {
 		meta.Time = st.ModTime().UTC()
+		fmt.Fprintf(os.Stderr,
+			"lsra-perfd: WARNING: %s is not git-tracked (or git is unavailable); falling back to file mtime %s — the record's timeline position is unreliable, commit the file or stamp it (schema v1) for real provenance\n",
+			path, meta.Time.Format(time.RFC3339))
 	} else {
 		meta.Time = time.Now().UTC()
+		fmt.Fprintf(os.Stderr,
+			"lsra-perfd: WARNING: %s has neither git history nor a readable mtime (%v); stamping with the current time\n",
+			path, serr)
 	}
 	return meta
 }

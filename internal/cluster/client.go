@@ -43,6 +43,19 @@ type ClientConfig struct {
 	// HTTPClient overrides the transport (nil = a client with a 60s
 	// overall timeout).
 	HTTPClient *http.Client
+	// TopologyURL, when set, is a cluster admin /topology endpoint (see
+	// cmd/lsra-cluster) the client polls for the live node table; every
+	// successful poll feeds SetNodes, so joins and leaves propagate
+	// without restarting the client.
+	TopologyURL string
+	// TopologyInterval is the poll period (0 = 15s). Meaningful only
+	// with TopologyURL.
+	TopologyInterval time.Duration
+	// FailoverRefresh triggers an immediate topology poll after this
+	// many consecutive failovers without an intervening first-attempt
+	// success — the signature of routing against a stale node table
+	// (0 = 3). Meaningful only with TopologyURL.
+	FailoverRefresh int
 }
 
 // ClientStats counts a Client's routing behavior.
@@ -57,6 +70,9 @@ type ClientStats struct {
 	HedgeWins  uint64 `json:"hedge_wins"`
 	Retries429 uint64 `json:"retries_429"`
 	Errors     uint64 `json:"errors"`
+	// TopologyRefreshes counts successful /topology polls that replaced
+	// the node table (timer-driven and failover-triggered alike).
+	TopologyRefreshes uint64 `json:"topology_refreshes"`
 }
 
 // Client is the cluster-aware allocation client: consistent-hash
@@ -73,6 +89,14 @@ type Client struct {
 	requests, failovers  atomic.Uint64
 	hedges, hedgeWins    atomic.Uint64
 	retries429, errorsCt atomic.Uint64
+
+	// Topology refresh loop state (nil/inert when TopologyURL is unset).
+	refreshC    chan struct{} // non-blocking kick: poll now
+	stopC       chan struct{}
+	stopOnce    sync.Once
+	pollerDone  chan struct{}
+	consecFails atomic.Uint64 // consecutive failovers since the last owner hit
+	refreshes   atomic.Uint64
 }
 
 // NewClient builds a Client over the given nodes.
@@ -101,7 +125,96 @@ func NewClient(cfg ClientConfig) *Client {
 	for _, n := range cfg.Nodes {
 		c.ring.Add(n)
 	}
+	if cfg.TopologyURL != "" {
+		if c.cfg.TopologyInterval <= 0 {
+			c.cfg.TopologyInterval = 15 * time.Second
+		}
+		if c.cfg.FailoverRefresh <= 0 {
+			c.cfg.FailoverRefresh = 3
+		}
+		c.refreshC = make(chan struct{}, 1)
+		c.stopC = make(chan struct{})
+		c.pollerDone = make(chan struct{})
+		go c.pollTopology()
+	}
 	return c
+}
+
+// Close stops the topology poller, if one is running. The client stays
+// usable for requests afterwards (its node table just stops tracking
+// the cluster). Safe to call multiple times; a no-op without a
+// TopologyURL.
+func (c *Client) Close() {
+	if c.stopC == nil {
+		return
+	}
+	c.stopOnce.Do(func() { close(c.stopC) })
+	<-c.pollerDone
+}
+
+// pollTopology keeps the node table synchronized with the cluster's
+// admin /topology endpoint: a timer covers the steady state, and a
+// non-blocking kick from the failover path (see race) covers the
+// moment routing goes visibly stale.
+func (c *Client) pollTopology() {
+	defer close(c.pollerDone)
+	// Prime immediately: a client created while nodes are joining should
+	// not wait a full interval for its first true table.
+	c.refreshTopology()
+	t := time.NewTicker(c.cfg.TopologyInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.refreshTopology()
+		case <-c.refreshC:
+			c.refreshTopology()
+		case <-c.stopC:
+			return
+		}
+	}
+}
+
+// refreshTopology fetches the admin topology once and swaps in the node
+// table. Failures leave the current table untouched — a flaky admin
+// endpoint must not amputate a working ring — and an empty table is
+// treated as a failure for the same reason.
+func (c *Client) refreshTopology() {
+	resp, err := c.http.Get(c.cfg.TopologyURL)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var infos []NodeInfo
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&infos); err != nil {
+		return
+	}
+	nodes := make([]string, 0, len(infos))
+	for _, ni := range infos {
+		if ni.URL != "" {
+			nodes = append(nodes, ni.URL)
+		}
+	}
+	if len(nodes) == 0 {
+		return
+	}
+	c.SetNodes(nodes)
+	c.refreshes.Add(1)
+}
+
+// kickRefresh requests an immediate topology poll (non-blocking: a
+// pending kick is as good as two).
+func (c *Client) kickRefresh() {
+	if c.refreshC == nil {
+		return
+	}
+	select {
+	case c.refreshC <- struct{}{}:
+	default:
+	}
 }
 
 // SetNodes replaces the node table (the join/leave hook).
@@ -124,12 +237,13 @@ func (c *Client) Nodes() []string { return c.ring.Nodes() }
 // Stats samples the client counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
-		Requests:   c.requests.Load(),
-		Failovers:  c.failovers.Load(),
-		Hedges:     c.hedges.Load(),
-		HedgeWins:  c.hedgeWins.Load(),
-		Retries429: c.retries429.Load(),
-		Errors:     c.errorsCt.Load(),
+		Requests:          c.requests.Load(),
+		Failovers:         c.failovers.Load(),
+		Hedges:            c.hedges.Load(),
+		HedgeWins:         c.hedgeWins.Load(),
+		Retries429:        c.retries429.Load(),
+		Errors:            c.errorsCt.Load(),
+		TopologyRefreshes: c.refreshes.Load(),
 	}
 }
 
@@ -239,6 +353,11 @@ func (c *Client) race(ctx context.Context, seq []string, body []byte) (*serve.Al
 				if res.hedged {
 					c.hedgeWins.Add(1)
 				}
+				if res.idx == 0 {
+					// The ring owner answered: routing is healthy, so the
+					// consecutive-failover streak ends here.
+					c.consecFails.Store(0)
+				}
 				c.markUp(seq[res.idx])
 				return res.resp, seq[res.idx], nil
 			}
@@ -249,6 +368,13 @@ func (c *Client) race(ctx context.Context, seq []string, body []byte) (*serve.Al
 			c.markDown(seq[res.idx])
 			if next < len(seq) {
 				c.failovers.Add(1)
+				// A streak of failovers with no owner success means the
+				// node table no longer matches the cluster: pull a fresh
+				// topology instead of burning attempts on ghosts.
+				if n := c.consecFails.Add(1); c.cfg.FailoverRefresh > 0 && n >= uint64(c.cfg.FailoverRefresh) {
+					c.consecFails.Store(0)
+					c.kickRefresh()
+				}
 				launch(false)
 			} else if inflight == 0 {
 				return nil, "", lastErr

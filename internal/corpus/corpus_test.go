@@ -1,0 +1,221 @@
+package corpus
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irbin"
+	"repro/internal/progs"
+	"repro/internal/target"
+)
+
+func writeTestCorpus(t *testing.T, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.lsco")
+	if err := Generate(path, GenOptions{Count: n, Seed: 100, Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	const n = 40
+	path := writeTestCorpus(t, n)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Count() != n {
+		t.Fatalf("Count = %d, want %d", r.Count(), n)
+	}
+	if !strings.Contains(r.Meta(), "seed=100") {
+		t.Fatalf("meta lost generation settings: %q", r.Meta())
+	}
+	// Every program must decode, validate, and match an independent
+	// regeneration from the recorded seed schedule.
+	profiles := progs.Profiles()
+	mach := target.Alpha()
+	arena := irbin.NewArena()
+	pr := &ir.Printer{}
+	for i := 0; i < n; i++ {
+		prog, err := r.Decode(i, arena)
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		if err := ir.ValidateProgram(prog, nil); err != nil {
+			t.Fatalf("program %d invalid: %v", i, err)
+		}
+		cfg, err := progs.ProfileGen(profiles[i%len(profiles)], 100+int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got, want strings.Builder
+		pr.WriteProgram(&got, prog)
+		pr.WriteProgram(&want, progs.Random(mach, cfg))
+		if got.String() != want.String() {
+			t.Fatalf("program %d does not match its seed regeneration", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.lsco"), filepath.Join(dir, "b.lsco")
+	// Different worker counts must still produce identical files: the
+	// batched pipeline writes in index order regardless of parallelism.
+	if err := Generate(a, GenOptions{Count: 30, Seed: 5, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Generate(b, GenOptions{Count: 30, Seed: 5, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if !bytes.Equal(da, db) {
+		t.Fatal("generation is not deterministic across worker counts")
+	}
+}
+
+func TestFrameRandomAccess(t *testing.T) {
+	path := writeTestCorpus(t, 10)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Access out of order; every frame must be self-consistent.
+	for _, i := range []int{7, 0, 9, 3, 3} {
+		frame := r.Frame(i)
+		n, err := irbin.FrameSize(frame)
+		if err != nil || n != len(frame) {
+			t.Fatalf("frame %d: size %d of %d, err %v", i, n, len(frame), err)
+		}
+	}
+}
+
+// corrupt loads a valid corpus image, applies f, and reports whether
+// reading (header + full decode sweep) fails.
+func corruptFails(t *testing.T, base []byte, f func([]byte) []byte) bool {
+	t.Helper()
+	img := f(bytes.Clone(base))
+	r, err := newReader(img)
+	if err != nil {
+		return true
+	}
+	arena := irbin.NewArena()
+	for i := 0; i < r.Count(); i++ {
+		if _, err := r.Decode(i, arena); err != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func TestReaderRejectsCorruption(t *testing.T) {
+	path := writeTestCorpus(t, 8)
+	base, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		f    func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"bad version", func(b []byte) []byte { b[4] = 9; return b }},
+		{"short header", func(b []byte) []byte { return b[:16] }},
+		{"truncated index", func(b []byte) []byte { return b[:len(b)-7] }},
+		{"truncated data", func(b []byte) []byte {
+			// Drop a byte mid-data and pull the index back over the gap:
+			// counts and offsets now disagree with the bytes.
+			cut := len(b) / 2
+			return append(b[:cut], b[cut+1:]...)
+		}},
+		{"count inflated", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[8:], 1<<40)
+			return b
+		}},
+		{"index offset past EOF", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:], uint64(len(b))+8)
+			return b
+		}},
+		{"index offset into header", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:], 0)
+			binary.LittleEndian.PutUint64(b[8:], uint64(len(b))/16)
+			return b
+		}},
+		{"meta overruns file", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[24:], uint32(len(b)))
+			return b
+		}},
+		{"frame corrupted", func(b []byte) []byte {
+			// Smash bytes shortly after the first frame's header so the
+			// index still lines up but the frame itself is damaged.
+			indexOff := binary.LittleEndian.Uint64(b[16:])
+			off := binary.LittleEndian.Uint64(b[indexOff:])
+			for i := off; i < off+20 && i < uint64(len(b)); i++ {
+				b[i] ^= 0xa5
+			}
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if !corruptFails(t, base, tc.f) {
+				t.Fatal("corrupt corpus was accepted")
+			}
+		})
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "absent.lsco")); err == nil {
+		t.Fatal("Open accepted a missing file")
+	}
+}
+
+func TestWriterRejectsBadFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.lsco")
+	w, err := Create(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddFrame([]byte("not a frame")); err == nil {
+		t.Fatal("AddFrame accepted garbage")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close succeeded after a failed AddFrame")
+	}
+}
+
+func BenchmarkCorpusDecode(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.lsco")
+	if err := Generate(path, GenOptions{Count: 64, Seed: 9}); err != nil {
+		b.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	arena := irbin.NewArena()
+	if _, err := r.Decode(0, arena); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(r.Size() / r.Count()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Decode(i%r.Count(), arena); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package corpus
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/irbin"
+	"repro/internal/progs"
+	"repro/internal/target"
+)
+
+// GenOptions parameterizes Generate.
+type GenOptions struct {
+	Count    int      // programs to write
+	Seed     int64    // base seed; program i uses Seed+i
+	Profiles []string // generator profiles, cycled; nil = all profiles
+	Machine  *target.Machine
+	Workers  int // parallel generator goroutines; 0 = GOMAXPROCS
+}
+
+// Generate writes a corpus of Count random programs to path, cycling
+// the given generator profiles with seeds Seed+i so any slice of the
+// corpus is reproducible from the meta string alone. Generation and
+// encoding run on Workers goroutines in batches; writing stays ordered,
+// so the same options always produce the identical file.
+func Generate(path string, opt GenOptions) error {
+	if opt.Count <= 0 {
+		return fmt.Errorf("corpus: non-positive program count %d", opt.Count)
+	}
+	profiles := opt.Profiles
+	if len(profiles) == 0 {
+		profiles = progs.Profiles()
+	}
+	for _, p := range profiles {
+		if _, err := progs.ProfileGen(p, 0); err != nil {
+			return err
+		}
+	}
+	mach := opt.Machine
+	if mach == nil {
+		mach = target.Alpha()
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	meta := fmt.Sprintf("generator=progs.Random count=%d seed=%d profiles=%v machine=%s",
+		opt.Count, opt.Seed, profiles, mach.Name)
+	w, err := Create(path, meta)
+	if err != nil {
+		return err
+	}
+
+	// Batched ordered pipeline: workers fill one batch of frames in
+	// parallel, then the batch is written in index order. Memory stays
+	// bounded by the batch, and the output is deterministic.
+	const batch = 256
+	frames := make([][]byte, batch)
+	for base := 0; base < opt.Count; base += batch {
+		n := min(batch, opt.Count-base)
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				for i := wk; i < n; i += workers {
+					idx := base + i
+					cfg, _ := progs.ProfileGen(profiles[idx%len(profiles)], opt.Seed+int64(idx))
+					frames[i] = irbin.AppendProgram(frames[i][:0], progs.Random(mach, cfg))
+				}
+			}(wk)
+		}
+		wg.Wait()
+		for i := 0; i < n; i++ {
+			if err := w.AddFrame(frames[i]); err != nil {
+				w.Close()
+				return err
+			}
+		}
+	}
+	return w.Close()
+}

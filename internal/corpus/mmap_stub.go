@@ -1,0 +1,16 @@
+//go:build !unix
+
+package corpus
+
+import "os"
+
+// mapFile reads path wholesale where mmap is unavailable. The Reader
+// contract (buffer dies at Close) is unchanged, just without the page
+// cache sharing.
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

@@ -1,0 +1,35 @@
+//go:build unix
+
+package corpus
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. An empty file maps to a nil slice (mmap
+// of length 0 is an error on Linux) and a nil unmap. Falls back to a
+// plain read if the filesystem refuses mmap.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Size() == 0 {
+		return nil, nil, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		return data, nil, nil
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

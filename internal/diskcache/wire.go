@@ -1,12 +1,14 @@
 package diskcache
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"strings"
 
 	regalloc "repro"
 	"repro/internal/ir"
+	"repro/internal/irbin"
 )
 
 // Entry is the wire form of one cached allocation: the disk tier's
@@ -45,13 +47,72 @@ func Encode(key regalloc.CacheKey, e *regalloc.CachedAllocation) ([]byte, error)
 	return json.Marshal(&w)
 }
 
-// Decode parses a wire-form entry back into a cache key and entry.
+// binaryMagic opens the binary wire form (EncodeBinary). It shares the
+// LS* family with the codec ("LSIR") and corpus ("LSCO") magics, and —
+// like them — can never be confused with the JSON form, whose first
+// byte is '{'.
+const binaryMagic = "LSDE"
+
+// EncodeBinary renders one cache entry in the binary wire form:
+//
+//	"LSDE" | uvarint keyLen | key | irbin frame | JSON report
+//
+// The program travels as an internal/irbin frame instead of printed
+// text, skipping both the printer here and the text parser on decode.
+// The frame is self-delimiting, so the report simply occupies the rest
+// of the buffer. The frame also carries MemWords and MemInit, which the
+// textual form cannot.
+func EncodeBinary(key regalloc.CacheKey, e *regalloc.CachedAllocation) ([]byte, error) {
+	if e == nil || e.Program == nil || e.Report == nil {
+		return nil, fmt.Errorf("diskcache: encode: incomplete entry")
+	}
+	buf := make([]byte, 0, 1024)
+	buf = append(buf, binaryMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	buf = irbin.AppendProgram(buf, e.Program)
+	rep, err := json.Marshal(e.Report)
+	if err != nil {
+		return nil, fmt.Errorf("diskcache: encode report: %w", err)
+	}
+	return append(buf, rep...), nil
+}
+
+// Decode parses a wire-form entry back into a cache key and entry,
+// sniffing the format: entries opening with the binary magic decode
+// through the binary path, everything else through JSON. One tier can
+// therefore hold a mix of both forms — switching Config.Binary never
+// invalidates an existing cache directory.
 func Decode(data []byte) (regalloc.CacheKey, *regalloc.CachedAllocation, error) {
+	if len(data) >= len(binaryMagic) && string(data[:len(binaryMagic)]) == binaryMagic {
+		return decodeBinary(data[len(binaryMagic):])
+	}
 	var w Entry
 	if err := json.Unmarshal(data, &w); err != nil {
 		return "", nil, fmt.Errorf("diskcache: decode: %w", err)
 	}
 	return w.Materialize()
+}
+
+func decodeBinary(data []byte) (regalloc.CacheKey, *regalloc.CachedAllocation, error) {
+	keyLen, n := binary.Uvarint(data)
+	if n <= 0 || keyLen == 0 || keyLen > uint64(len(data)-n) {
+		return "", nil, fmt.Errorf("diskcache: decode: bad binary key length")
+	}
+	key := string(data[n : n+int(keyLen)])
+	rest := data[n+int(keyLen):]
+	// The decoded program aliases data zero-copy; data is this entry's
+	// private read buffer and lives exactly as long as the program, so
+	// the aliasing is invisible to callers.
+	prog, frameLen, err := irbin.NewArena().Decode(rest)
+	if err != nil {
+		return "", nil, fmt.Errorf("diskcache: decode program: %w", err)
+	}
+	var rep regalloc.Report
+	if err := json.Unmarshal(rest[frameLen:], &rep); err != nil {
+		return "", nil, fmt.Errorf("diskcache: decode report: %w", err)
+	}
+	return regalloc.CacheKey(key), &regalloc.CachedAllocation{Program: prog, Report: &rep}, nil
 }
 
 // Materialize turns an already-unmarshalled wire entry into a cache key

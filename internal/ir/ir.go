@@ -270,6 +270,10 @@ func (t Tag) String() string {
 // NumTags is the number of Tag values, for counter arrays.
 const NumTags = int(numTags)
 
+// NumOps is the number of Op values. The binary codec (internal/irbin)
+// uses it to reject opcodes outside the instruction set at decode time.
+const NumOps = int(numOps)
+
 // Instr is one instruction. Uses and Defs follow the per-op conventions
 // documented on the Op constants. Pos is the instruction's position in the
 // linear (layout) order, assigned by Proc.Renumber; lifetime intervals and

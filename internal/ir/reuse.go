@@ -1,0 +1,49 @@
+package ir
+
+import "repro/internal/target"
+
+// This file holds the wholesale-installation hooks the binary codec
+// (internal/irbin) builds on. The normal construction API (NewProgram,
+// NewProc, NewTemp, NewBlock) allocates as it goes; a decoder that
+// replays millions of programs through one reusable arena instead
+// installs fully-built tables in place. Nothing here is useful to
+// hand-written builders — prefer the constructor API everywhere else.
+
+// Reset clears the program in place for reuse, keeping the backing
+// storage of its proc list and maps so a decode loop reaches a steady
+// state with no allocations. The program afterwards is equivalent to
+// NewProgram(memWords) except that Main is empty rather than "main":
+// a decoder always sets Main explicitly.
+func (pr *Program) Reset(memWords int) {
+	pr.Procs = pr.Procs[:0]
+	if pr.byName == nil {
+		pr.byName = make(map[string]*Proc)
+	} else {
+		clear(pr.byName)
+	}
+	if pr.MemInit == nil {
+		pr.MemInit = make(map[int]int64)
+	} else {
+		clear(pr.MemInit)
+	}
+	pr.MemWords = memWords
+	pr.Main = ""
+}
+
+// SetTempTable installs the temp tables wholesale, aliasing (not
+// copying) the given slices: classes[t] and names[t] become the class
+// and diagnostic name of Temp t. The slices must run parallel; the
+// caller must not mutate them while the proc is alive.
+func (p *Proc) SetTempTable(classes []target.Class, names []string) {
+	if len(classes) != len(names) {
+		panic("ir: SetTempTable: classes and names must run parallel")
+	}
+	p.tempClass = classes
+	p.tempName = names
+}
+
+// SetNextBlockID sets the ID NewBlock assigns next. A decoder that
+// installs blocks directly (bypassing NewBlock) must leave the counter
+// past every installed ID, or later SplitEdge calls would mint
+// duplicate block IDs.
+func (p *Proc) SetNextBlockID(n int) { p.nextBlockID = n }

@@ -51,6 +51,24 @@ type benchDoc struct {
 		Speedup          float64 `json:"speedup"`
 		CacheHitRate     float64 `json:"cache_hit_rate"`
 	} `json:"serve"`
+	Corpus *struct {
+		CorpusPrograms int `json:"corpus_programs"`
+		Rungs          []struct {
+			Programs         int     `json:"programs"`
+			ProgramsPerSec   float64 `json:"programs_per_sec"`
+			MBPerSec         float64 `json:"mb_per_sec"`
+			AllocsPerProgram float64 `json:"allocs_per_program"`
+		} `json:"rungs"`
+		Alloc *struct {
+			NsPerProgram int64   `json:"ns_per_program"`
+			DecodeShare  float64 `json:"decode_share"`
+		} `json:"alloc"`
+		ServeDuel *struct {
+			ColdTextNsPerProgram   int64   `json:"cold_text_ns_per_program"`
+			ColdBinaryNsPerProgram int64   `json:"cold_binary_ns_per_program"`
+			Speedup                float64 `json:"speedup"`
+		} `json:"serve_duel"`
+	} `json:"corpus"`
 	Cluster *struct {
 		ColdNsPerRequest    int64   `json:"cold_ns_per_request"`
 		WarmNsPerRequest    int64   `json:"warm_ns_per_request"`
@@ -146,6 +164,27 @@ func Extract(data []byte, fallback Meta) (*Record, error) {
 		put("serve_cache_hit_rate", s.CacheHitRate)
 	}
 
+	// Binary-codec corpus ladder: decode throughput per rung (keyed by a
+	// compact rung name — 100000 → "100k", 1000000 → "1m"), the
+	// decode+allocate pipeline rate, and the cold-serve wire-format duel.
+	if c := doc.Corpus; c != nil {
+		for _, r := range c.Rungs {
+			name := rungName(r.Programs)
+			put("corpus_programs_per_sec_"+name, r.ProgramsPerSec)
+			put("corpus_mb_per_sec_"+name, r.MBPerSec)
+			put("corpus_allocs_per_program_"+name, r.AllocsPerProgram)
+		}
+		if a := c.Alloc; a != nil {
+			put("corpus_alloc_ns", float64(a.NsPerProgram))
+			put("corpus_decode_share", a.DecodeShare)
+		}
+		if d := c.ServeDuel; d != nil {
+			put("serve_cold_text_ns", float64(d.ColdTextNsPerProgram))
+			put("serve_cold_binary_ns", float64(d.ColdBinaryNsPerProgram))
+			put("serve_binary_speedup", d.Speedup)
+		}
+	}
+
 	// Sharded cluster: routing/caching steady state, the hedged-request
 	// tail, and the persistent tier's admission + restart behavior.
 	if cs := doc.Cluster; cs != nil {
@@ -170,6 +209,19 @@ func Extract(data []byte, fallback Meta) (*Record, error) {
 		return nil, fmt.Errorf("perfdb: bench document contains no extractable series")
 	}
 	return rec, nil
+}
+
+// rungName compresses a rung size into the series-key suffix: whole
+// millions as "<n>m", whole thousands as "<n>k", anything else verbatim.
+func rungName(n int) string {
+	switch {
+	case n >= 1_000_000 && n%1_000_000 == 0:
+		return fmt.Sprintf("%dm", n/1_000_000)
+	case n >= 1_000 && n%1_000 == 0:
+		return fmt.Sprintf("%dk", n/1_000)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
 }
 
 // putResources flattens a Resources snapshot under a series prefix; the

@@ -28,6 +28,15 @@ func stampedDoc(t *testing.T, commit string, at time.Time, serveCold, scanNs flo
 			"speedup":             2.0,
 			"cache_hit_rate":      0.99,
 		},
+		"corpus": map[string]any{
+			"corpus_programs": 20000,
+			"rungs": []map[string]any{
+				{"programs": 100000, "programs_per_sec": 51000.0, "mb_per_sec": 142.0, "allocs_per_program": 0.0},
+				{"programs": 1000000, "programs_per_sec": 52000.0, "mb_per_sec": 145.0, "allocs_per_program": 0.0},
+			},
+			"alloc":      map[string]any{"ns_per_program": 1.9e6, "decode_share": 0.011},
+			"serve_duel": map[string]any{"cold_text_ns_per_program": 2.4e6, "cold_binary_ns_per_program": 1.6e6, "speedup": 1.5},
+		},
 		"cluster": map[string]any{
 			"cold_ns_per_request":   3.1e6,
 			"warm_ns_per_request":   1.6e6,
@@ -63,6 +72,15 @@ func TestExtractStampedDocument(t *testing.T) {
 		"serve_warm_ns":                 1.45e6,
 		"serve_speedup":                 2.0,
 		"serve_cache_hit_rate":          0.99,
+		"corpus_programs_per_sec_100k":  51000,
+		"corpus_mb_per_sec_100k":        142,
+		"corpus_allocs_per_program_1m":  0,
+		"corpus_programs_per_sec_1m":    52000,
+		"corpus_alloc_ns":               1.9e6,
+		"corpus_decode_share":           0.011,
+		"serve_cold_text_ns":            2.4e6,
+		"serve_cold_binary_ns":          1.6e6,
+		"serve_binary_speedup":          1.5,
 		"cluster_cold_ns":               3.1e6,
 		"cluster_warm_ns":               1.6e6,
 		"cluster_warm_hit_rate":         1.0,

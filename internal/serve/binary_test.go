@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irbin"
+	"repro/internal/target"
+)
+
+// postBinary sends concatenated irbin frames to /allocate under the
+// binary content type.
+func postBinary(t *testing.T, url string, query string, frames []byte, wantCode int, out any) {
+	t.Helper()
+	resp, err := http.Post(url+"/allocate?"+query, ContentTypeBinaryIR, bytes.NewReader(frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		var e ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("status %d, want %d (error: %s)", resp.StatusCode, wantCode, e.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAllocateBinaryConformance proves the binary arm of /allocate is
+// observationally identical to the text arm: the same program sent both
+// ways yields the same content-address key, the same allocated program
+// text, and the same report shape.
+func TestAllocateBinaryConformance(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const machine = "tiny:6,4"
+	text := workloadText(t, machine, 3)
+
+	var fromText AllocateResponse
+	post(t, ts.URL, AllocateRequest{Machine: machine, Program: text}, http.StatusOK, &fromText)
+
+	mach0, err := target.Parse(machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.ParseProgramString(text, mach0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromBin AllocateResponse
+	postBinary(t, ts.URL, "machine="+machine, irbin.EncodeProgram(prog), http.StatusOK, &fromBin)
+
+	if len(fromBin.Results) != 1 {
+		t.Fatalf("%d results, want 1", len(fromBin.Results))
+	}
+	tr, br := fromText.Results[0], fromBin.Results[0]
+	if br.Key != tr.Key {
+		t.Errorf("binary key %s != text key %s: the two front ends hit different cache lines", br.Key, tr.Key)
+	}
+	if br.Program != tr.Program {
+		t.Errorf("binary and text arms allocated differently:\ntext:\n%s\nbinary:\n%s", tr.Program, br.Program)
+	}
+	if !br.Cached {
+		t.Error("binary request after identical text request missed the cache")
+	}
+	if br.Report == nil {
+		t.Error("binary response missing report")
+	}
+
+	// Allocated output must still be valid, independently of the duel.
+	mach, err := target.Parse(machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocated, err := ir.ParseProgramString(br.Program, mach)
+	if err != nil {
+		t.Fatalf("binary response program does not parse: %v", err)
+	}
+	if err := ir.ValidateAllocated(allocated.Proc("main"), mach); err != nil {
+		t.Errorf("binary response not validly allocated: %v", err)
+	}
+}
+
+func TestAllocateBinaryBatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const machine = "tiny:8,4"
+	mach, err := target.Parse(machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []byte
+	var want []string
+	for seed := int64(1); seed <= 3; seed++ {
+		text := workloadText(t, machine, seed)
+		prog, err := ir.ParseProgramString(text, mach)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = irbin.AppendProgram(frames, prog)
+		want = append(want, text)
+	}
+	var out AllocateResponse
+	postBinary(t, ts.URL, "machine="+machine+"&priority=batch", frames, http.StatusOK, &out)
+	if len(out.Results) != len(want) {
+		t.Fatalf("%d results, want %d", len(out.Results), len(want))
+	}
+	seen := map[string]bool{}
+	for i, res := range out.Results {
+		if !strings.HasPrefix(res.Key, "sha256:") {
+			t.Errorf("result %d key %q is not a content address", i, res.Key)
+		}
+		if seen[res.Key] {
+			t.Errorf("result %d repeats key %s", i, res.Key)
+		}
+		seen[res.Key] = true
+	}
+}
+
+func TestAllocateBinaryRejects(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	mach, err := target.Parse("tiny:6,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.ParseProgramString(workloadText(t, "tiny:6,4", 1), mach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := irbin.EncodeProgram(prog)
+
+	// Empty body.
+	postBinary(t, ts.URL, "machine=tiny:6,4", nil, http.StatusBadRequest, nil)
+	// Garbage bytes.
+	postBinary(t, ts.URL, "machine=tiny:6,4", []byte("garbage"), http.StatusBadRequest, nil)
+	// Truncated frame.
+	postBinary(t, ts.URL, "machine=tiny:6,4", valid[:len(valid)-4], http.StatusBadRequest, nil)
+	// Trailing garbage after a valid frame.
+	postBinary(t, ts.URL, "machine=tiny:6,4", append(bytes.Clone(valid), 'x'), http.StatusBadRequest, nil)
+	// Missing machine.
+	postBinary(t, ts.URL, "", valid, http.StatusBadRequest, nil)
+	// Bad priority.
+	postBinary(t, ts.URL, "machine=tiny:6,4&priority=bogus", valid, http.StatusBadRequest, nil)
+}

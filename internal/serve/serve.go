@@ -39,6 +39,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -51,6 +52,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/diskcache"
 	"repro/internal/ir"
+	"repro/internal/irbin"
 	"repro/internal/target"
 )
 
@@ -97,6 +99,11 @@ type Config struct {
 	// PersistCostFactor is the disk tier's admission bar (0 = diskcache
 	// default; negative admits everything).
 	PersistCostFactor float64
+	// PersistBinary selects the disk tier's binary entry encoding
+	// (programs stored as internal/irbin frames instead of printed
+	// text). Reads sniff the format per entry, so this is safe to flip
+	// on an existing directory.
+	PersistBinary bool
 }
 
 // Priority is a request's scheduling class.
@@ -373,6 +380,7 @@ func New(cfg Config) (*Server, error) {
 				Dir:        cfg.PersistDir,
 				MaxEntries: cfg.PersistEntries,
 				CostFactor: cfg.PersistCostFactor,
+				Binary:     cfg.PersistBinary,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("serve: %w", err)
@@ -621,10 +629,27 @@ func (s *Server) isDraining() bool {
 	return s.draining
 }
 
+// ContentTypeBinaryIR selects the binary request form on POST
+// /allocate: the body is one or more concatenated internal/irbin
+// frames (self-delimiting, so no envelope is needed), with machine,
+// algorithm and priority carried as query parameters. The text parser
+// is skipped entirely — this is the wire form the corpus ladder and
+// high-throughput clients use.
+const ContentTypeBinaryIR = "application/x-lsra-ir"
+
+// arenaPool holds per-request binary decode arenas. An arena retains
+// the capacity of the largest program it has decoded, so a warmed pool
+// serves steady-state binary traffic without decode allocations.
+var arenaPool = sync.Pool{New: func() any { return irbin.NewArena() }}
+
 func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 	s.reqTotal.Add(1)
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, ContentTypeBinaryIR) {
+		s.handleAllocateBinary(w, r)
 		return
 	}
 	start := time.Now()
@@ -711,6 +736,104 @@ func (s *Server) handleAllocate(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			// A cancelled client is not a server error: classify it
 			// apart so the error-rate metric stays meaningful.
+			if r.Context().Err() != nil {
+				s.reqCancelled.Add(1)
+				writeJSON(w, statusClientClosedRequest, ErrorResponse{Error: "client went away mid-allocation"})
+				return
+			}
+			s.fail(w, http.StatusInternalServerError, fmt.Errorf("program %d: %w", i, err))
+			return
+		}
+		s.account(rep)
+		var sb strings.Builder
+		(&ir.Printer{Mach: mach}).WriteProgram(&sb, out)
+		resp.Results = append(resp.Results, AllocatedProgram{
+			Key:     string(key),
+			Cached:  rep.Cached,
+			Program: sb.String(),
+			Report:  rep,
+		})
+	}
+	resp.ElapsedNs = time.Since(start).Nanoseconds()
+	s.reqOK.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAllocateBinary is the Content-Type: application/x-lsra-ir arm
+// of POST /allocate. It mirrors the text arm's admission and
+// scheduling exactly; only the program front end differs — frames
+// decode zero-copy into a pooled arena instead of running the text
+// parser. The decoded program aliases the request body and the arena,
+// which is safe because the engine clones procedures before rewriting
+// and the response carries printed text.
+func (s *Server) handleAllocateBinary(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	q := r.URL.Query()
+	prio, err := ParsePriority(q.Get("priority"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", s.cfg.MaxRequestBytes))
+			return
+		}
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(body) == 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("no program in request"))
+		return
+	}
+
+	switch s.admit() {
+	case admitDraining:
+		s.reqDraining.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server is draining"})
+		return
+	case admitFull:
+		s.reqRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "admission queue full; retry later"})
+		return
+	case admitted:
+	}
+	defer s.release()
+
+	eng, mach, err := s.engine(q.Get("machine"), q.Get("algorithm"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	if err := s.sched.acquire(r.Context(), prio); err != nil {
+		s.reqCancelled.Add(1)
+		writeJSON(w, statusClientClosedRequest, ErrorResponse{Error: "client went away while queued"})
+		return
+	}
+	defer s.sched.release()
+
+	arena := arenaPool.Get().(*irbin.Arena)
+	defer arenaPool.Put(arena)
+	resp := AllocateResponse{Machine: q.Get("machine"), Algorithm: eng.Algorithm()}
+	rest := body
+	for i := 0; len(rest) > 0; i++ {
+		prog, n, err := arena.Decode(rest)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("program %d: %w", i, err))
+			return
+		}
+		rest = rest[n:]
+		if err := ir.ValidateProgram(prog, mach); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("program %d: %w", i, err))
+			return
+		}
+		out, rep, key, err := eng.AllocateCachedKey(r.Context(), prog)
+		if err != nil {
 			if r.Context().Err() != nil {
 				s.reqCancelled.Add(1)
 				writeJSON(w, statusClientClosedRequest, ErrorResponse{Error: "client went away mid-allocation"})
