@@ -13,9 +13,17 @@ package main
 //     state — the claim BenchmarkCorpusDecodeSteadyState gates in CI).
 //   - A bounded decode+allocate pass reports what ingestion plus the
 //     actual linear-scan pipeline sustains per core.
+//   - The pipeline duel runs the same decode+allocate workload twice on
+//     identical input — the lockstep loop vs the decode-ahead pipeline
+//     (internal/pipeline) — and reports programs/sec per runner plus the
+//     per-stage utilization counters that name the saturated stage.
 //   - The serve duel replays one workload against two fresh in-process
 //     servers — text/JSON vs binary frames — and reports the cold
 //     per-program cost of each front end.
+//
+// The corpus itself is a shard set (corpus.OpenSet): -corpus-shards
+// controls how many members a generated corpus gets, and -corpus-file
+// accepts a single file, a set base name, or a glob.
 
 import (
 	"bytes"
@@ -27,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -37,6 +46,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/ir"
 	"repro/internal/irbin"
+	"repro/internal/pipeline"
 	"repro/internal/serve"
 )
 
@@ -45,15 +55,40 @@ type corpusBench struct {
 	// CorpusPrograms is the number of distinct programs in the corpus
 	// file; rungs larger than that cycle it. CorpusBytes is the file
 	// size; Workers the decode parallelism of the ladder.
-	CorpusPrograms int          `json:"corpus_programs"`
-	CorpusBytes    int64        `json:"corpus_bytes"`
-	Workers        int          `json:"workers"`
-	Rungs          []corpusRung `json:"rungs"`
+	CorpusPrograms int   `json:"corpus_programs"`
+	CorpusBytes    int64 `json:"corpus_bytes"`
+	// Shards is the member count of the corpus shard set (1 for a
+	// single-file corpus).
+	Shards  int          `json:"shards"`
+	Workers int          `json:"workers"`
+	Rungs   []corpusRung `json:"rungs"`
 	// Alloc is the bounded decode+allocate measurement (single engine,
 	// full pipeline per program).
 	Alloc *corpusAlloc `json:"alloc,omitempty"`
+	// Pipeline is the lockstep-vs-decode-ahead duel on identical input.
+	Pipeline *pipelineDuel `json:"pipeline,omitempty"`
 	// ServeDuel is the cold text-vs-binary service front-end duel.
 	ServeDuel *serveDuel `json:"serve_duel,omitempty"`
+}
+
+// pipelineDuel is the decode-ahead measurement: the same programs, the
+// same engine, run through the lockstep loop and the pipelined runner.
+type pipelineDuel struct {
+	Programs  int    `json:"programs"`
+	Machine   string `json:"machine"`
+	Algorithm string `json:"algorithm"`
+	// GCPercent is the GC target both runners measured under (the duel
+	// raises it so GC cadence against the pinned decode window doesn't
+	// masquerade as pipeline overhead).
+	GCPercent int `json:"gc_percent"`
+	// Lockstep and Pipelined are each runner's full Stats: programs/sec,
+	// busy/stall nanoseconds per stage, utilizations, ring occupancy.
+	Lockstep  *pipeline.Stats `json:"lockstep"`
+	Pipelined *pipeline.Stats `json:"pipelined"`
+	// Speedup is pipelined/lockstep programs-per-second.
+	Speedup float64 `json:"speedup"`
+	// Bottleneck names the pipelined run's saturated stage.
+	Bottleneck string `json:"bottleneck"`
 }
 
 // corpusRung is one ladder step.
@@ -114,35 +149,53 @@ func parseRungs(s string) ([]int, error) {
 	return rungs, nil
 }
 
-// runCorpusBench runs the ladder over corpusPath (generated into a
-// temp file when empty, with nDistinct programs), at the given rung
-// sizes.
-func runCorpusBench(corpusPath string, nDistinct int, rungs []int, workers int) (*corpusBench, error) {
-	if corpusPath == "" {
+// corpusOpts collects the -corpus knobs.
+type corpusOpts struct {
+	// Path is the corpus argument: a file, a set base name, or a glob;
+	// empty generates a temporary Shards-member set of Programs distinct
+	// programs.
+	Path     string
+	Programs int
+	Shards   int
+	Rungs    []int
+	// Workers is the decode ladder's parallelism (0 = GOMAXPROCS).
+	Workers int
+	// PipelineWorkers and DecodeAhead tune the duel's pipelined runner
+	// (0 = the pipeline package defaults).
+	PipelineWorkers int
+	DecodeAhead     int
+}
+
+// runCorpusBench runs the ladder and the pipeline duel over the corpus
+// set named by opt.Path (generated into a temp dir when empty).
+func runCorpusBench(opt corpusOpts) (*corpusBench, error) {
+	if opt.Path == "" {
 		dir, err := os.MkdirTemp("", "lsra-corpus-*")
 		if err != nil {
 			return nil, err
 		}
 		defer os.RemoveAll(dir)
-		corpusPath = filepath.Join(dir, "bench.lsco")
-		if err := corpus.Generate(corpusPath, corpus.GenOptions{Count: nDistinct, Seed: 1}); err != nil {
+		opt.Path = filepath.Join(dir, "bench.lsco")
+		if err := corpus.Generate(opt.Path, corpus.GenOptions{Count: opt.Programs, Seed: 1, Shards: opt.Shards}); err != nil {
 			return nil, err
 		}
 	}
-	r, err := corpus.Open(corpusPath)
+	r, err := corpus.OpenSet(opt.Path)
 	if err != nil {
 		return nil, err
 	}
 	defer r.Close()
 	if r.Count() == 0 {
-		return nil, fmt.Errorf("corpus %s is empty", corpusPath)
+		return nil, fmt.Errorf("corpus %s is empty", opt.Path)
 	}
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	cb := &corpusBench{
 		CorpusPrograms: r.Count(),
-		CorpusBytes:    int64(r.Size()),
+		CorpusBytes:    r.Size(),
+		Shards:         r.Shards(),
 		Workers:        workers,
 	}
 
@@ -159,7 +212,7 @@ func runCorpusBench(corpusPath string, nDistinct int, rungs []int, workers int) 
 		}
 	}
 
-	for _, n := range rungs {
+	for _, n := range opt.Rungs {
 		rung, err := runRung(r, arenas, n)
 		if err != nil {
 			return nil, err
@@ -176,6 +229,12 @@ func runCorpusBench(corpusPath string, nDistinct int, rungs []int, workers int) 
 	}
 	cb.Alloc = alloc
 
+	pd, err := runPipelineDuel(r, min(r.Count(), 1000), opt.PipelineWorkers, opt.DecodeAhead)
+	if err != nil {
+		return nil, err
+	}
+	cb.Pipeline = pd
+
 	duel, err := runServeDuel("x86-8")
 	if err != nil {
 		return nil, err
@@ -184,9 +243,82 @@ func runCorpusBench(corpusPath string, nDistinct int, rungs []int, workers int) 
 	return cb, nil
 }
 
+// runPipelineDuel runs n programs through the lockstep loop and the
+// decode-ahead pipeline: identical input, identical engine, so the two
+// Stats differ only in how the stages overlap.
+func runPipelineDuel(r *corpus.Set, n, allocWorkers, decodeAhead int) (*pipelineDuel, error) {
+	const machine = "alpha"
+	mach, err := regalloc.ParseMachine(machine)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := regalloc.New(mach, regalloc.WithParallelism(1))
+	if err != nil {
+		return nil, err
+	}
+	// Warm the engine scratch space before either timed run.
+	arena := irbin.NewArena()
+	prog, err := r.Decode(0, arena)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := eng.AllocateProgram(context.Background(), prog); err != nil {
+		return nil, err
+	}
+	cfg := pipeline.Config{Programs: n, AllocWorkers: allocWorkers, DecodeAhead: decodeAhead}
+	// Both runners measure under a 400% GC target: the decode-ahead ring
+	// pins a pointer-rich window of live programs, and at the default
+	// target the collector re-scans that window often enough to charge
+	// the pipelined runner a GC-cadence tax unrelated to its structure.
+	// Raising the target for both sides (disclosed as GCPercent) keeps
+	// the duel about stage overlap; the ladder rungs still run at the
+	// process default.
+	const duelGCPercent = 400
+	old := debug.SetGCPercent(duelGCPercent)
+	defer debug.SetGCPercent(old)
+	// Best of six per runner, strictly alternating, with a GC before
+	// each timed pass. Short passes matter more than long ones here:
+	// host CPU speed drifts on the scale of seconds, so the duel's
+	// fairness comes from both runners sampling the same drift curve,
+	// not from any single long measurement.
+	const duelRounds = 6
+	var ls, pl *pipeline.Stats
+	for round := 0; round < duelRounds; round++ {
+		runtime.GC()
+		l, err := pipeline.RunLockstep(context.Background(), r, eng, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if ls == nil || l.ProgramsPerSec > ls.ProgramsPerSec {
+			ls = l
+		}
+		runtime.GC()
+		p, err := pipeline.Run(context.Background(), r, eng, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		if pl == nil || p.ProgramsPerSec > pl.ProgramsPerSec {
+			pl = p
+		}
+	}
+	d := &pipelineDuel{
+		Programs:   n,
+		Machine:    machine,
+		Algorithm:  eng.Algorithm(),
+		GCPercent:  duelGCPercent,
+		Lockstep:   ls,
+		Pipelined:  pl,
+		Bottleneck: pl.Bottleneck(),
+	}
+	if ls.ProgramsPerSec > 0 {
+		d.Speedup = pl.ProgramsPerSec / ls.ProgramsPerSec
+	}
+	return d, nil
+}
+
 // runRung decodes n programs across the worker arenas, cycling the
 // corpus, and measures wall time plus per-program heap allocations.
-func runRung(r *corpus.Reader, arenas []*irbin.Arena, n int) (*corpusRung, error) {
+func runRung(r *corpus.Set, arenas []*irbin.Arena, n int) (*corpusRung, error) {
 	workers := len(arenas)
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
@@ -244,7 +376,7 @@ func runRung(r *corpus.Reader, arenas []*irbin.Arena, n int) (*corpusRung, error
 
 // runCorpusAlloc measures decode + full allocation pipeline over the
 // first n corpus programs on one engine.
-func runCorpusAlloc(r *corpus.Reader, n int) (*corpusAlloc, error) {
+func runCorpusAlloc(r *corpus.Set, n int) (*corpusAlloc, error) {
 	const machine = "alpha"
 	mach, err := regalloc.ParseMachine(machine)
 	if err != nil {

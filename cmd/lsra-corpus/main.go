@@ -2,22 +2,28 @@
 // programs (internal/corpus): the input side of the million-program
 // throughput ladder.
 //
-//	lsra-corpus gen -o corpus.lsco -n 100000 -seed 1 -profiles all
+//	lsra-corpus gen -o corpus.lsco -n 100000 -seed 1 -profiles all -shards 16
 //	lsra-corpus info corpus.lsco
-//	lsra-corpus verify corpus.lsco
+//	lsra-corpus verify "corpus.*.lsco"
 //
 // gen writes Count seeded random programs (program i uses seed base+i,
 // profiles cycled), so a corpus is fully reproducible from its meta
-// string. verify decodes every frame through one arena and runs full
-// semantic validation — the integrity check for corpora that crossed
-// machines.
+// string; with -shards N it writes the set corpus.0000.lsco …
+// corpus.NNNN.lsco instead of one file. info and verify accept a single
+// file, a shard-set base name, or a glob over members. verify decodes
+// every frame and runs full semantic validation — the integrity check
+// for corpora that crossed machines — with shards verified in parallel
+// across -jobs goroutines.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	regalloc "repro"
 	"repro/internal/corpus"
@@ -48,21 +54,23 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  lsra-corpus gen -o <file> -n <count> [-seed N] [-profiles all|a,b,...] [-machine M] [-workers W]
-  lsra-corpus info <file>
-  lsra-corpus verify <file>`)
+  lsra-corpus gen -o <file> -n <count> [-seed N] [-profiles all|a,b,...] [-machine M] [-shards S] [-jobs J]
+  lsra-corpus info <file|set-base|glob>
+  lsra-corpus verify [-jobs J] <file|set-base|glob>`)
 	os.Exit(2)
 }
 
 func runGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	var (
-		out      = fs.String("o", "corpus.lsco", "output file")
+		out      = fs.String("o", "corpus.lsco", "output file (or shard-set base name with -shards)")
 		n        = fs.Int("n", 100000, "number of programs")
 		seed     = fs.Int64("seed", 1, "base seed; program i uses seed+i")
 		profiles = fs.String("profiles", "all", "comma-separated generator profiles, or all")
 		machine  = fs.String("machine", "alpha", "machine the generator shapes programs for")
-		workers  = fs.Int("workers", 0, "generator goroutines (0 = GOMAXPROCS)")
+		shards   = fs.Int("shards", 1, "shard-set member count (1 = single file)")
+		jobs     = fs.Int("jobs", runtime.GOMAXPROCS(0), "parallel generator goroutines")
+		workers  = fs.Int("workers", 0, "deprecated alias for -jobs")
 	)
 	fs.Parse(args)
 	mach, err := regalloc.ParseMachine(*machine)
@@ -73,22 +81,27 @@ func runGen(args []string) error {
 	if *profiles != "all" {
 		names = strings.Split(*profiles, ",")
 	}
+	if *workers > 0 {
+		*jobs = *workers
+	}
 	err = corpus.Generate(*out, corpus.GenOptions{
 		Count:    *n,
 		Seed:     *seed,
 		Profiles: names,
 		Machine:  mach,
-		Workers:  *workers,
+		Workers:  *jobs,
+		Shards:   *shards,
 	})
 	if err != nil {
 		return err
 	}
-	st, err := os.Stat(*out)
+	r, err := corpus.OpenSet(*out)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %d programs, %d bytes (%.1f bytes/program)\n",
-		*out, *n, st.Size(), float64(st.Size())/float64(*n))
+	defer r.Close()
+	fmt.Printf("wrote %s: %d programs in %d shard(s), %d bytes (%.1f bytes/program)\n",
+		*out, r.Count(), r.Shards(), r.Size(), float64(r.Size())/float64(max(r.Count(), 1)))
 	return nil
 }
 
@@ -96,12 +109,13 @@ func runInfo(args []string) error {
 	if len(args) != 1 {
 		usage()
 	}
-	r, err := corpus.Open(args[0])
+	r, err := corpus.OpenSet(args[0])
 	if err != nil {
 		return err
 	}
 	defer r.Close()
-	fmt.Printf("file:     %s\n", args[0])
+	fmt.Printf("set:      %s\n", args[0])
+	fmt.Printf("shards:   %d\n", r.Shards())
 	fmt.Printf("programs: %d\n", r.Count())
 	fmt.Printf("size:     %d bytes", r.Size())
 	if r.Count() > 0 {
@@ -109,32 +123,78 @@ func runInfo(args []string) error {
 	}
 	fmt.Println()
 	fmt.Printf("meta:     %s\n", r.Meta())
+	for i := 0; i < r.Shards(); i++ {
+		sh := r.Shard(i)
+		fmt.Printf("  %s: %d programs, %d bytes\n", r.Path(i), sh.Count(), sh.Size())
+	}
 	return nil
 }
 
 func runVerify(args []string) error {
-	if len(args) != 1 {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "shards verified concurrently")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
 		usage()
 	}
-	r, err := corpus.Open(args[0])
+	r, err := corpus.OpenSet(fs.Arg(0))
 	if err != nil {
 		return err
 	}
 	defer r.Close()
-	arena := irbin.NewArena()
-	var instrs int
-	for i := 0; i < r.Count(); i++ {
-		prog, err := r.Decode(i, arena)
+
+	// Shards are the parallelism unit: each worker owns one arena and
+	// verifies whole members, so frames never share decode storage.
+	var (
+		instrs  atomic.Int64
+		wg      sync.WaitGroup
+		next    atomic.Int64
+		errOnce sync.Once
+		vErr    error
+	)
+	nw := min(max(*jobs, 1), r.Shards())
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arena := irbin.NewArena()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= r.Shards() {
+					return
+				}
+				n, err := verifyShard(r.Shard(s), arena)
+				if err != nil {
+					errOnce.Do(func() { vErr = fmt.Errorf("%s: %w", r.Path(s), err) })
+					return
+				}
+				instrs.Add(n)
+			}
+		}()
+	}
+	wg.Wait()
+	if vErr != nil {
+		return vErr
+	}
+	fmt.Printf("ok: %d programs in %d shard(s), %d instructions\n", r.Count(), r.Shards(), instrs.Load())
+	return nil
+}
+
+// verifyShard decodes and semantically validates every frame of one
+// member, returning its instruction count.
+func verifyShard(sh *corpus.Reader, arena *irbin.Arena) (int64, error) {
+	var instrs int64
+	for i := 0; i < sh.Count(); i++ {
+		prog, err := sh.Decode(i, arena)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if err := ir.ValidateProgram(prog, nil); err != nil {
-			return fmt.Errorf("program %d: %w", i, err)
+			return 0, fmt.Errorf("program %d: %w", i, err)
 		}
 		for _, p := range prog.Procs {
-			instrs += p.NumInstrs()
+			instrs += int64(p.NumInstrs())
 		}
 	}
-	fmt.Printf("ok: %d programs, %d instructions\n", r.Count(), instrs)
-	return nil
+	return instrs, nil
 }

@@ -363,36 +363,49 @@ func (e *Engine) AllocateProgram(ctx context.Context, prog *Program) (*Program, 
 	if workers < 1 {
 		workers = 1
 	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				if ctx.Err() != nil {
-					continue // drain: the batch is already failing
-				}
-				procStart := time.Now()
-				res, err := e.AllocateProc(procs[i])
-				elapsed[i] = time.Since(procStart)
-				ev := Event{Proc: procs[i].Name, Index: i, Elapsed: elapsed[i], Err: err}
-				if err == nil {
-					results[i] = res
-					ev.Stats = res.Stats
-				}
-				e.observe(ev)
-				if err != nil {
-					fail(i, err)
-				}
-			}
-		}()
+	work := func(i int) {
+		if ctx.Err() != nil {
+			return // drain: the batch is already failing
+		}
+		procStart := time.Now()
+		res, err := e.AllocateProc(procs[i])
+		elapsed[i] = time.Since(procStart)
+		ev := Event{Proc: procs[i].Name, Index: i, Elapsed: elapsed[i], Err: err}
+		if err == nil {
+			results[i] = res
+			ev.Stats = res.Stats
+		}
+		e.observe(ev)
+		if err != nil {
+			fail(i, err)
+		}
 	}
-	for i := range procs {
-		idx <- i
+	if workers == 1 {
+		// Inline fast path: a single worker gains nothing from the pool,
+		// and the per-proc channel rendezvous is pure scheduler traffic —
+		// measurably so when other goroutines (a decode-ahead stage, the
+		// service's accept loop) are runnable on the same core.
+		for i := range procs {
+			work(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					work(i)
+				}
+			}()
+		}
+		for i := range procs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
 	}
-	close(idx)
-	wg.Wait()
 
 	if firstErr != nil {
 		return nil, nil, firstErr

@@ -7,12 +7,16 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ir"
+	"repro/internal/irbin"
 	"repro/internal/serve"
+	"repro/internal/target"
 )
 
 // ClientConfig tunes a cluster Client. Only Nodes is required.
@@ -56,6 +60,12 @@ type ClientConfig struct {
 	// success — the signature of routing against a stale node table
 	// (0 = 3). Meaningful only with TopologyURL.
 	FailoverRefresh int
+	// DisableBinary forces every request onto the JSON wire form. By
+	// default the client parses request programs locally and posts
+	// application/x-lsra-ir bodies (see serve.ContentTypeBinaryIR),
+	// which skips the server's text parser; nodes that answer 415 are
+	// remembered as JSON-only and never sent binary again.
+	DisableBinary bool
 }
 
 // ClientStats counts a Client's routing behavior.
@@ -73,6 +83,11 @@ type ClientStats struct {
 	// TopologyRefreshes counts successful /topology polls that replaced
 	// the node table (timer-driven and failover-triggered alike).
 	TopologyRefreshes uint64 `json:"topology_refreshes"`
+	// BinaryRequests counts node attempts posted in the binary wire
+	// form (application/x-lsra-ir); JSONFallbacks counts 415 answers
+	// that demoted a node to JSON for the client's lifetime.
+	BinaryRequests uint64 `json:"binary_requests"`
+	JSONFallbacks  uint64 `json:"json_fallbacks"`
 }
 
 // Client is the cluster-aware allocation client: consistent-hash
@@ -85,10 +100,17 @@ type Client struct {
 
 	healthMu sync.Mutex
 	downTil  map[string]time.Time
+	jsonOnly map[string]bool // nodes that answered 415 to a binary post
 
-	requests, failovers  atomic.Uint64
-	hedges, hedgeWins    atomic.Uint64
-	retries429, errorsCt atomic.Uint64
+	// machCache memoizes target.Parse per machine spec so the binary
+	// encoder does not re-derive the machine on every request.
+	machMu    sync.Mutex
+	machCache map[string]*target.Machine
+
+	requests, failovers   atomic.Uint64
+	hedges, hedgeWins     atomic.Uint64
+	retries429, errorsCt  atomic.Uint64
+	binaryReqs, jsonFalls atomic.Uint64
 
 	// Topology refresh loop state (nil/inert when TopologyURL is unset).
 	refreshC    chan struct{} // non-blocking kick: poll now
@@ -114,10 +136,12 @@ func NewClient(cfg ClientConfig) *Client {
 		cfg.DownCooldown = 3 * time.Second
 	}
 	c := &Client{
-		cfg:     cfg,
-		ring:    NewRing(cfg.Vnodes),
-		http:    cfg.HTTPClient,
-		downTil: map[string]time.Time{},
+		cfg:       cfg,
+		ring:      NewRing(cfg.Vnodes),
+		http:      cfg.HTTPClient,
+		downTil:   map[string]time.Time{},
+		jsonOnly:  map[string]bool{},
+		machCache: map[string]*target.Machine{},
 	}
 	if c.http == nil {
 		c.http = &http.Client{Timeout: 60 * time.Second}
@@ -244,6 +268,8 @@ func (c *Client) Stats() ClientStats {
 		Retries429:        c.retries429.Load(),
 		Errors:            c.errorsCt.Load(),
 		TopologyRefreshes: c.refreshes.Load(),
+		BinaryRequests:    c.binaryReqs.Load(),
+		JSONFallbacks:     c.jsonFalls.Load(),
 	}
 }
 
@@ -283,25 +309,91 @@ func (c *Client) candidates(key uint64) []string {
 	return append(healthy, cooling...)
 }
 
+// payload is one request in both wire forms. The JSON body is always
+// present; the binary body (plus the query string that carries what
+// JSON carries inline) exists only when the client could parse every
+// program locally, and an attempt falls back to the JSON form when the
+// node is remembered as JSON-only or answers 415.
+type payload struct {
+	json   []byte
+	binary []byte // nil: JSON only
+	query  string // "?machine=...&algorithm=..." for the binary form
+}
+
+// machine memoizes target.Parse per spec.
+func (c *Client) machine(spec string) (*target.Machine, error) {
+	c.machMu.Lock()
+	defer c.machMu.Unlock()
+	if m, ok := c.machCache[spec]; ok {
+		return m, nil
+	}
+	m, err := target.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	c.machCache[spec] = m
+	return m, nil
+}
+
+// encodeBinary builds the application/x-lsra-ir form of a request:
+// concatenated irbin frames plus the query parameters the binary arm
+// of POST /allocate reads instead of a JSON envelope. Any parse
+// failure returns nil — the server's text parser is the authority on
+// malformed programs, so such requests travel as JSON and get the
+// server's error verbatim.
+func (c *Client) encodeBinary(req *serve.AllocateRequest, texts []string) ([]byte, string) {
+	mach, err := c.machine(req.Machine)
+	if err != nil {
+		return nil, ""
+	}
+	var body []byte
+	for _, text := range texts {
+		prog, err := ir.ParseProgramString(text, mach)
+		if err != nil {
+			return nil, ""
+		}
+		body = irbin.AppendProgram(body, prog)
+	}
+	q := url.Values{}
+	q.Set("machine", req.Machine)
+	if req.Algorithm != "" {
+		q.Set("algorithm", req.Algorithm)
+	}
+	if req.Priority != "" {
+		q.Set("priority", req.Priority)
+	}
+	return body, "?" + q.Encode()
+}
+
 // Allocate routes one request to its owning node, failing over to ring
 // successors on node failure and hedging per ClientConfig. It returns
-// the decoded response and the node that served it.
+// the decoded response and the node that served it. Unless
+// DisableBinary is set, programs the client can parse locally are
+// posted in the binary wire form (application/x-lsra-ir), skipping the
+// server's text parser; a node that answers 415 — an older build
+// without the binary arm — is remembered as JSON-only and the attempt
+// repeats as JSON immediately.
 func (c *Client) Allocate(ctx context.Context, req serve.AllocateRequest) (*serve.AllocateResponse, string, error) {
 	c.requests.Add(1)
 	texts := req.Programs
 	if req.Program != "" {
 		texts = []string{req.Program}
 	}
-	body, err := json.Marshal(&req)
+	var p payload
+	var err error
+	p.json, err = json.Marshal(&req)
 	if err != nil {
 		return nil, "", err
+	}
+	if !c.cfg.DisableBinary {
+		p.binary, p.query = c.encodeBinary(&req, texts)
 	}
 	seq := c.candidates(RouteKey(req.Machine, req.Algorithm, texts))
 	if len(seq) == 0 {
 		c.errorsCt.Add(1)
 		return nil, "", fmt.Errorf("cluster: no nodes")
 	}
-	resp, node, err := c.race(ctx, seq, body)
+	resp, node, err := c.race(ctx, seq, p)
 	if err != nil {
 		c.errorsCt.Add(1)
 		return nil, "", err
@@ -322,7 +414,7 @@ type attemptResult struct {
 // candidate at once (failover); with hedging enabled, a candidate that
 // is merely slow gets company after HedgeDelay. The first success wins
 // and cancels the rest.
-func (c *Client) race(ctx context.Context, seq []string, body []byte) (*serve.AllocateResponse, string, error) {
+func (c *Client) race(ctx context.Context, seq []string, p payload) (*serve.AllocateResponse, string, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make(chan attemptResult, len(seq))
@@ -332,7 +424,7 @@ func (c *Client) race(ctx context.Context, seq []string, body []byte) (*serve.Al
 		next++
 		inflight++
 		go func() {
-			resp, err := c.attempt(ctx, seq[idx], body)
+			resp, err := c.attempt(ctx, seq[idx], p)
 			results <- attemptResult{idx: idx, hedged: hedged, resp: resp, err: err}
 		}()
 	}
@@ -391,17 +483,45 @@ func (c *Client) race(ctx context.Context, seq []string, body []byte) (*serve.Al
 	}
 }
 
+// nodeJSONOnly reports whether a node has been demoted to the JSON
+// wire form by an earlier 415.
+func (c *Client) nodeJSONOnly(node string) bool {
+	c.healthMu.Lock()
+	defer c.healthMu.Unlock()
+	return c.jsonOnly[node]
+}
+
+// markJSONOnly remembers, for the client's lifetime, that a node does
+// not speak the binary wire form.
+func (c *Client) markJSONOnly(node string) {
+	c.healthMu.Lock()
+	c.jsonOnly[node] = true
+	c.healthMu.Unlock()
+}
+
 // attempt posts the request to one node, honoring 429 + Retry-After
 // with bounded backoff: the server's explicit please-wait is respected
 // (capped at MaxRetryAfter) up to Max429Retries times before the
-// attempt counts as failed.
-func (c *Client) attempt(ctx context.Context, node string, body []byte) (*serve.AllocateResponse, error) {
-	for retry := 0; ; retry++ {
-		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, node+"/allocate", bytes.NewReader(body))
+// attempt counts as failed. When the payload carries a binary form and
+// the node is not known to be JSON-only, the binary form goes first; a
+// 415 demotes the node and re-sends the same request as JSON without
+// consuming a 429 retry.
+func (c *Client) attempt(ctx context.Context, node string, p payload) (*serve.AllocateResponse, error) {
+	useBinary := p.binary != nil && !c.nodeJSONOnly(node)
+	retries := 0
+	for {
+		body, endpoint, ctype := p.json, node+"/allocate", "application/json"
+		if useBinary {
+			body, endpoint, ctype = p.binary, node+"/allocate"+p.query, serve.ContentTypeBinaryIR
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
-		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set("Content-Type", ctype)
+		if useBinary {
+			c.binaryReqs.Add(1)
+		}
 		resp, err := c.http.Do(hreq)
 		if err != nil {
 			return nil, err
@@ -418,7 +538,15 @@ func (c *Client) attempt(ctx context.Context, node string, body []byte) (*serve.
 				return nil, fmt.Errorf("bad response body: %w", err)
 			}
 			return &out, nil
-		case resp.StatusCode == http.StatusTooManyRequests && retry < c.cfg.Max429Retries:
+		case resp.StatusCode == http.StatusUnsupportedMediaType && useBinary:
+			// An older node without the binary arm. Remember that and
+			// repeat this attempt as JSON — the request itself is fine.
+			c.jsonFalls.Add(1)
+			c.markJSONOnly(node)
+			useBinary = false
+			continue
+		case resp.StatusCode == http.StatusTooManyRequests && retries < c.cfg.Max429Retries:
+			retries++
 			c.retries429.Add(1)
 			if err := sleepCtx(ctx, retryAfter(resp, c.cfg.MaxRetryAfter)); err != nil {
 				return nil, err

@@ -1,0 +1,55 @@
+package corpus
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/irbin"
+)
+
+// FuzzCorpusImage hammers the reader's validation path with arbitrary
+// corpus images: whatever the bytes, newReader either rejects them or
+// yields a reader whose every frame decodes without panicking. Seeded
+// with a valid image plus the corruption table's interesting shapes —
+// including a corrupt shard header, the seed the shard-set open path
+// (OpenSet → Open → newReader) must keep refusing.
+func FuzzCorpusImage(f *testing.F) {
+	path := filepath.Join(f.TempDir(), "seed.lsco")
+	if err := Generate(path, GenOptions{Count: 6, Seed: 42, Shards: 2}); err != nil {
+		f.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		img, err := os.ReadFile(ShardPath(path, s))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(img)
+		// Corrupt shard header: magic smashed, version smashed, and the
+		// count field inflated — the header corruptions a torn shard
+		// write or a bad disk most plausibly produces.
+		bad := bytes.Clone(img)
+		bad[0] = 'X'
+		f.Add(bad)
+		bad = bytes.Clone(img)
+		bad[4] = 0xff
+		f.Add(bad)
+		bad = bytes.Clone(img)
+		bad[8], bad[9] = 0xff, 0xff
+		f.Add(bad)
+		f.Add(img[:16])
+		f.Add(img[:len(img)-5])
+	}
+	f.Fuzz(func(t *testing.T, img []byte) {
+		r, err := newReader(img)
+		if err != nil {
+			return
+		}
+		arena := irbin.NewArena()
+		for i := 0; i < r.Count(); i++ {
+			// Errors are fine; panics are the bug.
+			_, _ = r.Decode(i, arena)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 
@@ -17,13 +18,24 @@ type GenOptions struct {
 	Profiles []string // generator profiles, cycled; nil = all profiles
 	Machine  *target.Machine
 	Workers  int // parallel generator goroutines; 0 = GOMAXPROCS
+	// Shards, when > 1, writes a shard set instead of one file: path
+	// becomes the set's base name and the programs land in
+	// base.0000.lsco … base.NNNN.lsco (see ShardPath), each shard
+	// holding a contiguous slice of the global index space. The set's
+	// logical content — program i generated from Seed+i with profiles
+	// cycled by global index — is byte-identical to the single-file
+	// corpus of the same options, so sharding is purely a storage and
+	// parallelism decision. Shards are generated concurrently, bounded
+	// by Workers.
+	Shards int
 }
 
 // Generate writes a corpus of Count random programs to path, cycling
 // the given generator profiles with seeds Seed+i so any slice of the
 // corpus is reproducible from the meta string alone. Generation and
 // encoding run on Workers goroutines in batches; writing stays ordered,
-// so the same options always produce the identical file.
+// so the same options always produce the identical file (and, with
+// Shards > 1, the identical shard files regardless of Workers).
 func Generate(path string, opt GenOptions) error {
 	if opt.Count <= 0 {
 		return fmt.Errorf("corpus: non-positive program count %d", opt.Count)
@@ -45,9 +57,63 @@ func Generate(path string, opt GenOptions) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if opt.Shards <= 1 {
+		meta := genMeta(opt.Count, opt.Seed, profiles, mach, -1, 0, 0, 0)
+		return generateRange(path, meta, 0, opt.Count, opt.Seed, profiles, mach, workers)
+	}
+	if opt.Shards > opt.Count {
+		return fmt.Errorf("corpus: %d shards for %d programs", opt.Shards, opt.Count)
+	}
 
+	// Shard s holds the contiguous global range [s·C/S, (s+1)·C/S); the
+	// shard files are generated concurrently, each with enough inner
+	// workers to use the whole budget when shards are few.
+	inner := max(1, workers/opt.Shards)
+	sem := make(chan struct{}, max(1, workers))
+	errs := make([]error, opt.Shards)
+	var wg sync.WaitGroup
+	for s := 0; s < opt.Shards; s++ {
+		lo := s * opt.Count / opt.Shards
+		hi := (s + 1) * opt.Count / opt.Shards
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			meta := genMeta(opt.Count, opt.Seed, profiles, mach, s, opt.Shards, lo, hi)
+			errs[s] = generateRange(ShardPath(path, s), meta, lo, hi, opt.Seed, profiles, mach, inner)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			// Leave no partial set behind: a set with a hole would open as
+			// missing-shard forever.
+			for i := 0; i < opt.Shards; i++ {
+				os.Remove(ShardPath(path, i))
+			}
+			return fmt.Errorf("corpus: shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// genMeta renders the reproducibility stamp. shard < 0 means a
+// single-file corpus; otherwise the shard's membership and global range
+// are recorded, which is what OpenSet validates set completeness from.
+func genMeta(count int, seed int64, profiles []string, mach *target.Machine, shard, shards, lo, hi int) string {
 	meta := fmt.Sprintf("generator=progs.Random count=%d seed=%d profiles=%v machine=%s",
-		opt.Count, opt.Seed, profiles, mach.Name)
+		count, seed, profiles, mach.Name)
+	if shard >= 0 {
+		meta += fmt.Sprintf(" shard=%d/%d range=[%d,%d)", shard, shards, lo, hi)
+	}
+	return meta
+}
+
+// generateRange writes global programs [lo, hi) to path. Seeds and
+// profiles are indexed by global position, so concatenating the ranges
+// of a shard set reproduces the unsharded corpus program for program.
+func generateRange(path, meta string, lo, hi int, seed int64, profiles []string, mach *target.Machine, workers int) error {
 	w, err := Create(path, meta)
 	if err != nil {
 		return err
@@ -58,8 +124,8 @@ func Generate(path string, opt GenOptions) error {
 	// bounded by the batch, and the output is deterministic.
 	const batch = 256
 	frames := make([][]byte, batch)
-	for base := 0; base < opt.Count; base += batch {
-		n := min(batch, opt.Count-base)
+	for base := lo; base < hi; base += batch {
+		n := min(batch, hi-base)
 		var wg sync.WaitGroup
 		for wk := 0; wk < workers; wk++ {
 			wg.Add(1)
@@ -67,7 +133,7 @@ func Generate(path string, opt GenOptions) error {
 				defer wg.Done()
 				for i := wk; i < n; i += workers {
 					idx := base + i
-					cfg, _ := progs.ProfileGen(profiles[idx%len(profiles)], opt.Seed+int64(idx))
+					cfg, _ := progs.ProfileGen(profiles[idx%len(profiles)], seed+int64(idx))
 					frames[i] = irbin.AppendProgram(frames[i][:0], progs.Random(mach, cfg))
 				}
 			}(wk)

@@ -1,0 +1,254 @@
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/irbin"
+)
+
+// Shard sets scale the corpus container past one file: a set is
+// base.0000.lsco … base.NNNN.lsco, each member an ordinary corpus file
+// holding a contiguous slice of the global program index space (its
+// meta string records `shard=i/n range=[lo,hi)`). OpenSet maps every
+// member and presents them as one logical reader, so the ladder and
+// pipeline address programs by global index without caring where shard
+// boundaries fall. Shards also give the writer and verifier their
+// parallelism unit: members are generated and verified concurrently.
+
+// ShardPath names shard i of the set rooted at path: the ".lsco"
+// extension (or any extension) is peeled off and a zero-padded member
+// number inserted — "corpus.lsco" → "corpus.0007.lsco".
+func ShardPath(path string, i int) string {
+	ext := filepath.Ext(path)
+	base := strings.TrimSuffix(path, ext)
+	if ext == "" {
+		ext = ".lsco"
+	}
+	return fmt.Sprintf("%s.%04d%s", base, i, ext)
+}
+
+// SetPaths expands arg into the ordered member list of a corpus set:
+//
+//   - a glob pattern (anything with *, ?, or [) matches directly;
+//   - an existing file is a set of one;
+//   - otherwise arg is treated as a set base name and expanded to
+//     base.NNNN.lsco members.
+//
+// The result is sorted, which for zero-padded shard names is shard
+// order.
+func SetPaths(arg string) ([]string, error) {
+	if strings.ContainsAny(arg, "*?[") {
+		paths, err := filepath.Glob(arg)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: bad pattern %q: %w", arg, err)
+		}
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("corpus: pattern %q matches nothing", arg)
+		}
+		sort.Strings(paths)
+		return paths, nil
+	}
+	if st, err := os.Stat(arg); err == nil && !st.IsDir() {
+		return []string{arg}, nil
+	}
+	ext := filepath.Ext(arg)
+	base := strings.TrimSuffix(arg, ext)
+	if ext == "" {
+		ext = ".lsco"
+	}
+	paths, err := filepath.Glob(fmt.Sprintf("%s.[0-9][0-9][0-9][0-9]%s", base, ext))
+	if err == nil && len(paths) > 0 {
+		sort.Strings(paths)
+		return paths, nil
+	}
+	return nil, fmt.Errorf("corpus: %s: no such file or shard set", arg)
+}
+
+// Set is a read-only view over the members of a shard set, presenting
+// them as one logical corpus: global program index i lives in the shard
+// whose cumulative count range contains i. Each member keeps its own
+// mmap; the lifetime rules of Reader apply to the whole set (frames and
+// decoded programs die at Close). Safe for concurrent reads with
+// per-goroutine arenas, like Reader.
+type Set struct {
+	readers []*Reader
+	paths   []string
+	cum     []int // cum[i] = programs in readers[0..i]
+	size    int64
+}
+
+// OpenSet opens the corpus set named by arg (a file, a set base name,
+// or a glob — see SetPaths) and validates that declared shard sets are
+// complete: members generated with Shards > 1 carry `shard=i/n` stamps,
+// and a set missing a member or mixing two generations refuses to open
+// rather than silently serving a corpus with a hole.
+func OpenSet(arg string) (*Set, error) {
+	paths, err := SetPaths(arg)
+	if err != nil {
+		return nil, err
+	}
+	return OpenSetFiles(paths)
+}
+
+// OpenSetFiles opens an explicit member list as one logical corpus.
+func OpenSetFiles(paths []string) (*Set, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("corpus: empty shard set")
+	}
+	s := &Set{paths: paths}
+	for _, p := range paths {
+		r, err := Open(p)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("corpus: shard %s: %w", p, err)
+		}
+		s.readers = append(s.readers, r)
+		s.size += int64(r.Size())
+		total := r.Count()
+		if len(s.cum) > 0 {
+			total += s.cum[len(s.cum)-1]
+		}
+		s.cum = append(s.cum, total)
+	}
+	if err := s.checkComplete(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// checkComplete validates shard=i/n meta stamps: every declared member
+// of one generation must be present exactly once, in order.
+func (s *Set) checkComplete() error {
+	declared := -1 // n from the first stamped member; -1 until seen
+	seen := map[int]string{}
+	for i, r := range s.readers {
+		idx, n, ok := shardStamp(r.Meta())
+		if !ok {
+			if declared >= 0 {
+				return fmt.Errorf("corpus: %s has no shard stamp but %s declares a %d-shard set", s.paths[i], s.paths[0], declared)
+			}
+			continue
+		}
+		if declared < 0 {
+			declared = n
+		} else if n != declared {
+			return fmt.Errorf("corpus: %s declares %d shards, %s declares %d — mixed sets", s.paths[i], n, s.paths[0], declared)
+		}
+		if prev, dup := seen[idx]; dup {
+			return fmt.Errorf("corpus: shard %d appears twice (%s, %s)", idx, prev, s.paths[i])
+		}
+		seen[idx] = s.paths[i]
+	}
+	if declared < 0 {
+		return nil // unstamped members: a hand-assembled set, trust the caller
+	}
+	if len(seen) != len(s.readers) {
+		return fmt.Errorf("corpus: set mixes stamped and unstamped members")
+	}
+	for i := 0; i < declared; i++ {
+		if _, ok := seen[i]; !ok {
+			return fmt.Errorf("corpus: missing shard %d of %d (have %d members)", i, declared, len(s.readers))
+		}
+	}
+	if len(seen) > declared {
+		return fmt.Errorf("corpus: %d members for a declared %d-shard set", len(seen), declared)
+	}
+	return nil
+}
+
+// shardStamp parses a `shard=i/n` token out of a meta string.
+func shardStamp(meta string) (idx, n int, ok bool) {
+	for _, f := range strings.Fields(meta) {
+		v, found := strings.CutPrefix(f, "shard=")
+		if !found {
+			continue
+		}
+		is, ns, found := strings.Cut(v, "/")
+		if !found {
+			return 0, 0, false
+		}
+		i, err1 := strconv.Atoi(is)
+		nn, err2 := strconv.Atoi(ns)
+		if err1 != nil || err2 != nil || i < 0 || nn <= 0 || i >= nn {
+			return 0, 0, false
+		}
+		return i, nn, true
+	}
+	return 0, 0, false
+}
+
+// Count reports the total programs across all members.
+func (s *Set) Count() int {
+	if len(s.cum) == 0 {
+		return 0
+	}
+	return s.cum[len(s.cum)-1]
+}
+
+// Shards reports the member count.
+func (s *Set) Shards() int { return len(s.readers) }
+
+// Shard returns member i's reader (for shard-parallel sweeps).
+func (s *Set) Shard(i int) *Reader { return s.readers[i] }
+
+// Path returns member i's file path.
+func (s *Set) Path(i int) string { return s.paths[i] }
+
+// Size reports the summed member file sizes in bytes.
+func (s *Set) Size() int64 { return s.size }
+
+// Meta returns the first member's meta string (all members of one
+// generation share the generator settings; the shard stamp differs).
+func (s *Set) Meta() string {
+	if len(s.readers) == 0 {
+		return ""
+	}
+	return s.readers[0].Meta()
+}
+
+// locate maps a global program index to (member, local index).
+func (s *Set) locate(i int) (int, int) {
+	m := sort.SearchInts(s.cum, i+1)
+	lo := 0
+	if m > 0 {
+		lo = s.cum[m-1]
+	}
+	return m, i - lo
+}
+
+// Frame returns global program i's raw frame, aliasing that member's
+// mapping.
+func (s *Set) Frame(i int) []byte {
+	m, local := s.locate(i)
+	return s.readers[m].Frame(local)
+}
+
+// Decode decodes global program i into arena (same lifetime rules as
+// Reader.Decode).
+func (s *Set) Decode(i int, arena *irbin.Arena) (*ir.Program, error) {
+	m, local := s.locate(i)
+	return s.readers[m].Decode(local, arena)
+}
+
+// Close unmaps every member. Usable mid-open (Close on a partially
+// opened set closes what was opened).
+func (s *Set) Close() error {
+	var first error
+	for _, r := range s.readers {
+		if r == nil {
+			continue
+		}
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.readers = nil
+	return first
+}

@@ -1,0 +1,204 @@
+package corpus
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/irbin"
+)
+
+// writeTestSet generates an n-program, shards-member set and returns
+// its base path.
+func writeTestSet(t *testing.T, n, shards int) string {
+	t.Helper()
+	base := filepath.Join(t.TempDir(), "set.lsco")
+	if err := Generate(base, GenOptions{Count: n, Seed: 100, Workers: 2, Shards: shards}); err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+func TestShardPath(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"corpus.lsco", "corpus.0000.lsco"},
+		{"dir/x.lsco", "dir/x.0000.lsco"},
+		{"bare", "bare.0000.lsco"},
+	} {
+		if got := ShardPath(tc.in, 0); got != tc.want {
+			t.Errorf("ShardPath(%q, 0) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	if got := ShardPath("corpus.lsco", 12); got != "corpus.0012.lsco" {
+		t.Errorf("ShardPath index padding: got %q", got)
+	}
+}
+
+// TestShardSetMatchesSingleFile is the core sharding invariant: the
+// set's logical content — global index order, per-program bytes — is
+// identical to the unsharded corpus of the same options.
+func TestShardSetMatchesSingleFile(t *testing.T) {
+	const n = 50
+	single := writeTestCorpus(t, n) // Seed 100, same options as writeTestSet
+	base := writeTestSet(t, n, 4)
+
+	r, err := Open(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	set, err := OpenSet(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	if set.Shards() != 4 {
+		t.Fatalf("Shards = %d, want 4", set.Shards())
+	}
+	if set.Count() != r.Count() {
+		t.Fatalf("set Count = %d, single-file Count = %d", set.Count(), r.Count())
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(set.Frame(i), r.Frame(i)) {
+			t.Fatalf("program %d differs between set and single file", i)
+		}
+	}
+	// Decode through the set too: global index must land in the right
+	// shard-local frame.
+	arena := irbin.NewArena()
+	for _, i := range []int{49, 0, 25, 13, 37} {
+		if _, err := set.Decode(i, arena); err != nil {
+			t.Fatalf("set decode %d: %v", i, err)
+		}
+	}
+	if !strings.Contains(set.Meta(), "shard=0/4") {
+		t.Fatalf("set meta lost the shard stamp: %q", set.Meta())
+	}
+}
+
+func TestShardGenerateDeterministicAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.lsco"), filepath.Join(dir, "b.lsco")
+	if err := Generate(a, GenOptions{Count: 40, Seed: 7, Workers: 1, Shards: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Generate(b, GenOptions{Count: 40, Seed: 7, Workers: 4, Shards: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 3; s++ {
+		da, _ := os.ReadFile(ShardPath(a, s))
+		db, _ := os.ReadFile(ShardPath(b, s))
+		if !bytes.Equal(da, db) {
+			t.Fatalf("shard %d differs across worker counts", s)
+		}
+	}
+}
+
+func TestOpenSetMissingShard(t *testing.T) {
+	base := writeTestSet(t, 40, 4)
+	if err := os.Remove(ShardPath(base, 2)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenSet(base)
+	if err == nil {
+		t.Fatal("OpenSet accepted a set with a missing shard")
+	}
+	if !strings.Contains(err.Error(), "missing shard 2") {
+		t.Fatalf("error does not name the hole: %v", err)
+	}
+}
+
+func TestOpenSetCorruptShardHeader(t *testing.T) {
+	base := writeTestSet(t, 40, 4)
+	victim := ShardPath(base, 1)
+	img, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[0] = 'X' // smash the magic
+	if err := os.WriteFile(victim, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenSet(base)
+	if err == nil {
+		t.Fatal("OpenSet accepted a set with a corrupt shard header")
+	}
+	if !strings.Contains(err.Error(), victim) {
+		t.Fatalf("error does not name the corrupt shard: %v", err)
+	}
+}
+
+func TestOpenSetDuplicateShard(t *testing.T) {
+	base := writeTestSet(t, 40, 2)
+	// A stray copy of shard 0 under a higher member number: same
+	// declared set, index 0 twice.
+	img, err := os.ReadFile(ShardPath(base, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ShardPath(base, 3), img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSet(base); err == nil {
+		t.Fatal("OpenSet accepted a set with a duplicated shard")
+	}
+}
+
+func TestOpenSetMixedGenerations(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.lsco"), filepath.Join(dir, "b.lsco")
+	if err := Generate(a, GenOptions{Count: 20, Seed: 1, Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Generate(b, GenOptions{Count: 30, Seed: 2, Shards: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-mix members of two different declared sets.
+	_, err := OpenSetFiles([]string{ShardPath(a, 0), ShardPath(a, 1), ShardPath(b, 0)})
+	if err == nil {
+		t.Fatal("OpenSetFiles accepted members of two different sets")
+	}
+}
+
+func TestOpenSetSingleFileAndGlob(t *testing.T) {
+	path := writeTestCorpus(t, 10)
+	set, err := OpenSet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Shards() != 1 || set.Count() != 10 {
+		t.Fatalf("single-file set: shards %d count %d", set.Shards(), set.Count())
+	}
+	set.Close()
+
+	base := writeTestSet(t, 20, 2)
+	ext := filepath.Ext(base)
+	pattern := strings.TrimSuffix(base, ext) + ".*" + ext
+	set, err = OpenSet(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	if set.Shards() != 2 || set.Count() != 20 {
+		t.Fatalf("glob set: shards %d count %d", set.Shards(), set.Count())
+	}
+}
+
+func TestOpenSetNothingThere(t *testing.T) {
+	if _, err := OpenSet(filepath.Join(t.TempDir(), "ghost.lsco")); err == nil {
+		t.Fatal("OpenSet accepted a nonexistent base")
+	}
+	if _, err := OpenSet(filepath.Join(t.TempDir(), "g*.lsco")); err == nil {
+		t.Fatal("OpenSet accepted a pattern matching nothing")
+	}
+}
+
+func TestGenerateRejectsMoreShardsThanPrograms(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "tiny.lsco")
+	if err := Generate(base, GenOptions{Count: 3, Shards: 8}); err == nil {
+		t.Fatal("Generate accepted more shards than programs")
+	}
+}

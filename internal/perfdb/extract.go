@@ -53,6 +53,7 @@ type benchDoc struct {
 	} `json:"serve"`
 	Corpus *struct {
 		CorpusPrograms int `json:"corpus_programs"`
+		Shards         int `json:"shards"`
 		Rungs          []struct {
 			Programs         int     `json:"programs"`
 			ProgramsPerSec   float64 `json:"programs_per_sec"`
@@ -63,6 +64,11 @@ type benchDoc struct {
 			NsPerProgram int64   `json:"ns_per_program"`
 			DecodeShare  float64 `json:"decode_share"`
 		} `json:"alloc"`
+		Pipeline *struct {
+			Lockstep  *pipelineStats `json:"lockstep"`
+			Pipelined *pipelineStats `json:"pipelined"`
+			Speedup   float64        `json:"speedup"`
+		} `json:"pipeline"`
 		ServeDuel *struct {
 			ColdTextNsPerProgram   int64   `json:"cold_text_ns_per_program"`
 			ColdBinaryNsPerProgram int64   `json:"cold_binary_ns_per_program"`
@@ -72,6 +78,10 @@ type benchDoc struct {
 	Cluster *struct {
 		ColdNsPerRequest    int64   `json:"cold_ns_per_request"`
 		WarmNsPerRequest    int64   `json:"warm_ns_per_request"`
+		BinaryNsPerRequest  int64   `json:"binary_ns_per_request"`
+		JSONNsPerRequest    int64   `json:"json_ns_per_request"`
+		BinarySpeedup       float64 `json:"binary_speedup"`
+		JSONFallbacks       uint64  `json:"json_fallbacks"`
 		WarmHitRate         float64 `json:"warm_hit_rate"`
 		UnhedgedP99Ns       int64   `json:"unhedged_p99_ns"`
 		HedgedP99Ns         int64   `json:"hedged_p99_ns"`
@@ -81,6 +91,17 @@ type benchDoc struct {
 		PersistRejectedCost uint64  `json:"persist_rejected_cost"`
 		RestartWarmHitRate  float64 `json:"restart_warm_hit_rate"`
 	} `json:"cluster"`
+}
+
+// pipelineStats is the extractable subset of internal/pipeline.Stats
+// (one side of the corpus section's lockstep-vs-pipelined duel).
+type pipelineStats struct {
+	ProgramsPerSec    float64 `json:"programs_per_sec"`
+	DecodeUtilization float64 `json:"decode_utilization"`
+	AllocUtilization  float64 `json:"alloc_utilization"`
+	DecodeStallNs     int64   `json:"decode_stall_ns"`
+	AllocStallNs      int64   `json:"alloc_stall_ns"`
+	AvgRingOccupancy  float64 `json:"avg_ring_occupancy"`
 }
 
 // Extract flattens one lsra-bench JSON document into a Record. Stamped
@@ -183,6 +204,25 @@ func Extract(data []byte, fallback Meta) (*Record, error) {
 			put("serve_cold_binary_ns", float64(d.ColdBinaryNsPerProgram))
 			put("serve_binary_speedup", d.Speedup)
 		}
+		if c.Shards > 0 {
+			put("corpus_shard_count", float64(c.Shards))
+		}
+		// Decode-ahead pipeline duel: the pipelined side's throughput and
+		// stage health, with the lockstep baseline for the same input.
+		if p := c.Pipeline; p != nil {
+			put("pipeline_speedup", p.Speedup)
+			if ls := p.Lockstep; ls != nil {
+				put("pipeline_lockstep_programs_per_sec", ls.ProgramsPerSec)
+			}
+			if ps := p.Pipelined; ps != nil {
+				put("pipeline_programs_per_sec", ps.ProgramsPerSec)
+				put("pipeline_decode_utilization", ps.DecodeUtilization)
+				put("pipeline_alloc_utilization", ps.AllocUtilization)
+				put("pipeline_decode_stall_ns", float64(ps.DecodeStallNs))
+				put("pipeline_alloc_stall_ns", float64(ps.AllocStallNs))
+				put("pipeline_ring_occupancy", ps.AvgRingOccupancy)
+			}
+		}
 	}
 
 	// Sharded cluster: routing/caching steady state, the hedged-request
@@ -198,6 +238,13 @@ func Extract(data []byte, fallback Meta) (*Record, error) {
 		put("cluster_persist_admitted", float64(cs.PersistAdmitted))
 		put("cluster_persist_rejected_cost", float64(cs.PersistRejectedCost))
 		put("cluster_restart_warm_hit_rate", cs.RestartWarmHitRate)
+		// Binary wire-form duel (absent in documents that predate it).
+		if cs.BinaryNsPerRequest > 0 {
+			put("cluster_binary_ns", float64(cs.BinaryNsPerRequest))
+			put("cluster_json_ns", float64(cs.JSONNsPerRequest))
+			put("cluster_binary_speedup", cs.BinarySpeedup)
+			put("cluster_json_fallbacks", float64(cs.JSONFallbacks))
+		}
 	}
 
 	// Process-wide resource attribution (v1 records only).
