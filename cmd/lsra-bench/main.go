@@ -75,6 +75,10 @@ type benchOutput struct {
 	// text-vs-binary serve duel. Not part of -all: rung sizes make its
 	// runtime an explicit choice.
 	Corpus *corpusBench `json:"corpus,omitempty"`
+	// Quality is the quality frontier: per-allocator spill-traffic gap
+	// vs the oracle optimum over the default quality grid, with pair
+	// envelopes enforced.
+	Quality *qualityBench `json:"quality,omitempty"`
 	// Resources is the process-wide resource delta over all selected
 	// sections: getrusage (max RSS, user/system CPU) plus GC counters.
 	Resources *perfdb.Resources `json:"resources,omitempty"`
@@ -220,6 +224,7 @@ func main() {
 		corpusWork  = flag.Int("corpus-workers", 0, "ladder decode workers (0 = GOMAXPROCS)")
 		pipeWork    = flag.Int("pipeline-workers", 0, "pipeline-duel allocator workers (0 = GOMAXPROCS)")
 		decodeAhead = flag.Int("decode-ahead", 0, "pipeline-duel decoded programs in flight (0 = pipeline default)")
+		qualityF    = flag.Bool("quality", false, "quality frontier: spill-traffic gap vs the oracle optimum, envelopes enforced")
 		allocF      = flag.Bool("alloc", false, "per-benchmark engine allocation reports")
 		all         = flag.Bool("all", false, "run everything")
 		scale       = flag.Float64("scale", 1.0, "workload scale multiplier")
@@ -231,9 +236,9 @@ func main() {
 	)
 	flag.Parse()
 	if *all {
-		*t1, *t2, *f3, *t3, *abl, *sweep, *srv, *clu, *allocF = true, true, true, true, true, true, true, true, true
+		*t1, *t2, *f3, *t3, *abl, *sweep, *srv, *clu, *allocF, *qualityF = true, true, true, true, true, true, true, true, true, true
 	}
-	if !*t1 && !*t2 && !*f3 && !*t3 && !*abl && !*sweep && !*srv && !*clu && !*allocF && !*corpusF {
+	if !*t1 && !*t2 && !*f3 && !*t3 && !*abl && !*sweep && !*srv && !*clu && !*allocF && !*corpusF && !*qualityF {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -305,6 +310,11 @@ func main() {
 			PipelineWorkers: *pipeWork,
 			DecodeAhead:     *decodeAhead,
 		}); err != nil {
+			die(err)
+		}
+	}
+	if *qualityF {
+		if out.Quality, err = runQualityBench(*scale, *jobs); err != nil {
 			die(err)
 		}
 	}
@@ -494,6 +504,10 @@ func printText(out *benchOutput) {
 				d.Machine, d.Programs, d.ColdTextNsPerProgram, d.ColdBinaryNsPerProgram, d.Speedup)
 		}
 		fmt.Println()
+	}
+
+	if out.Quality != nil {
+		printQuality(out.Quality)
 	}
 
 	if out.Allocation != nil {

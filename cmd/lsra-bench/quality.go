@@ -1,0 +1,79 @@
+package main
+
+// The -quality section: the quality frontier as a benchmark. It runs
+// the conformance quality grid (internal/conform/quality.go) — every
+// allocator's dynamic spill traffic measured against the oracle's
+// proven optimum with the default pair envelopes enforced — and
+// reports the per-allocator gap summary as one stamped section, which
+// the perf observatory extracts as quality_gap_* series so a quality
+// regression shows up on the same dashboard as a speed regression.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/conform"
+)
+
+// qualityBench is the -quality section of the -json document.
+type qualityBench struct {
+	Machines []string `json:"machines"`
+	Profiles []string `json:"profiles"`
+	Seeds    []int64  `json:"seeds"`
+	// Points is the grid size; Eligible the subset where the oracle
+	// proved its optimum within the default search limits.
+	Points   int `json:"points"`
+	Eligible int `json:"eligible"`
+	// Errors and Violations count measurement failures and broken
+	// envelope bounds; both are zero on a healthy run.
+	Errors     int `json:"errors"`
+	Violations int `json:"violations"`
+	// Summary maps allocator name → its aggregated gap statistics.
+	Summary map[string]conform.QualitySummary `json:"summary"`
+}
+
+// runQualityBench measures the default quality grid, with the seed
+// count scaled like every other workload.
+func runQualityBench(scale float64, jobs int) (*qualityBench, error) {
+	nSeeds := int(3 * scale)
+	if nSeeds < 1 {
+		nSeeds = 1
+	}
+	g := conform.DefaultQualityGrid(1, nSeeds)
+	rep := conform.RunQuality(g, conform.QualityOptions{
+		Options: conform.Options{Parallelism: jobs, NoShrink: true},
+	}, false)
+	return &qualityBench{
+		Machines:   g.Machines,
+		Profiles:   g.Profiles,
+		Seeds:      g.Seeds,
+		Points:     rep.Points,
+		Eligible:   rep.Eligible,
+		Errors:     len(rep.Errors),
+		Violations: len(rep.Violations),
+		Summary:    rep.Summary,
+	}, nil
+}
+
+func printQuality(q *qualityBench) {
+	fmt.Println("Quality frontier: dynamic spill traffic vs the oracle optimum")
+	fmt.Printf("  grid: %d machines x %d profiles x %d seeds = %d points (%d oracle-eligible); %d errors, %d envelope violations\n",
+		len(q.Machines), len(q.Profiles), len(q.Seeds), q.Points, q.Eligible, q.Errors, q.Violations)
+	fmt.Printf("%-12s %8s %10s %14s %14s %12s %9s\n",
+		"allocator", "points", "eligible", "spill-ops", "optimum", "geomean-gap", "max-gap")
+	for _, name := range sortedKeys(q.Summary) {
+		s := q.Summary[name]
+		fmt.Printf("%-12s %8d %10d %14d %14d %12.3f %9.2f\n",
+			name, s.Points, s.EligiblePoints, s.SpillOps, s.OptimumSpill, s.GeomeanGap, s.MaxGap)
+	}
+	fmt.Println()
+}
+
+func sortedKeys(m map[string]conform.QualitySummary) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

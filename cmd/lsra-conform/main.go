@@ -41,8 +41,14 @@ func main() {
 		jobs       = flag.Int("jobs", 0, "parallel workers (0 = all CPUs)")
 		maxSteps   = flag.Int64("max-steps", 0, "VM fuel per execution (0 = harness default)")
 		list       = flag.Bool("list", false, "print the grid axes and exit")
+		quality    = flag.Bool("quality", false, "run the quality grid instead: spill traffic per allocator vs the oracle optimum, with pair envelopes enforced")
 	)
 	flag.Parse()
+
+	if *quality {
+		runQuality(*allocators, *machines, *profiles, *seeds, *cells, *failFast, *noShrink, *jobs, *maxSteps, *list)
+		return
+	}
 
 	g := conform.Grid{
 		Allocators: splitOrDefault(*allocators, alloc.Names()),

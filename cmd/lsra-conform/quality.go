@@ -1,0 +1,67 @@
+package main
+
+// The -quality mode: instead of pass/fail semantics, measure each
+// allocator's dynamic spill traffic point by point against the oracle's
+// proven optimum, and enforce the configured pair envelopes
+// (allocator-vs-allocator and allocator-vs-oracle bounds) as grid
+// failures with shrink-minimized repros.
+//
+//	lsra-conform -quality
+//	lsra-conform -quality -machines tiny,x86-8 -seeds 5
+//	lsra-conform -quality -cells          # include every measured point
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/conform"
+	"repro/internal/progs"
+)
+
+func runQuality(allocators, machines, profiles, seeds string, cells, failFast, noShrink bool, jobs int, maxSteps int64, list bool) {
+	g := conform.QualityGrid{
+		Allocators: splitOrDefault(allocators, alloc.Names()),
+		Machines:   splitMachines(machines),
+		Profiles:   splitOrDefault(profiles, progs.Profiles()),
+	}
+	var err error
+	if g.Seeds, err = parseSeeds(seeds); err != nil {
+		die(err)
+	}
+
+	if list {
+		fmt.Printf("allocators: %s\n", strings.Join(g.Allocators, " "))
+		fmt.Printf("machines:   %s\n", strings.Join(g.Machines, " "))
+		fmt.Printf("profiles:   %s\n", strings.Join(g.Profiles, " "))
+		fmt.Printf("seeds:      %v  (%d points)\n", g.Seeds, len(g.Points()))
+		for _, e := range conform.DefaultEnvelopes() {
+			fmt.Printf("envelope:   %s\n", e)
+		}
+		return
+	}
+
+	rep := conform.RunQuality(g, conform.QualityOptions{
+		Options: conform.Options{
+			FailFast:    failFast,
+			Parallelism: jobs,
+			MaxSteps:    maxSteps,
+			NoShrink:    noShrink,
+		},
+	}, cells)
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		die(err)
+	}
+	if len(rep.Errors) > 0 || len(rep.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "lsra-conform: quality: %d errors, %d envelope violations over %d points (%d oracle-eligible)\n",
+			len(rep.Errors), len(rep.Violations), rep.Points, rep.Eligible)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "lsra-conform: quality: %d points clean (%d oracle-eligible)\n",
+		rep.Points, rep.Eligible)
+}

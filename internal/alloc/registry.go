@@ -20,8 +20,9 @@ var (
 )
 
 // Register adds a named allocator factory to the global registry. The
-// four built-in allocators self-register under "binpack", "twopass",
-// "coloring" and "linearscan"; external packages may add their own.
+// built-in allocators self-register under "binpack", "twopass",
+// "coloring", "linearscan" and "oracle"; external packages may add
+// their own.
 // Registering an empty name, a nil factory, or a name that is already
 // taken is an error.
 func Register(name string, f Factory) error {

@@ -33,6 +33,10 @@ const (
 	KindRetValue    = "retval"       // return values differ
 	KindMemory      = "memory"       // final global-memory images differ
 	KindCounters    = "counters"     // dynamic counters are insane
+	// KindQuality marks a quality-envelope violation: the cell executed
+	// correctly but an allocator's spill traffic broke a configured
+	// allocator-vs-allocator or allocator-vs-oracle bound (quality.go).
+	KindQuality = "quality-envelope"
 )
 
 // Mismatch describes one observable divergence between the reference and

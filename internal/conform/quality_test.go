@@ -1,0 +1,145 @@
+package conform
+
+import (
+	"testing"
+)
+
+// TestQualityPointMeasures checks one measured point end to end: every
+// allocator is measured, the counter decomposition is internally
+// consistent, and on oracle-eligible points the profile-fed oracle's
+// measured traffic equals the proven optimum exactly (gap 1.0).
+func TestQualityPointMeasures(t *testing.T) {
+	allocs := []string{"binpack", "coloring", "linearscan", "oracle", "twopass"}
+	o := &QualityOptions{}
+	res := checkQualityPoint(QualityPoint{Machine: "tiny", Profile: "default", Seed: 7}, 0, allocs, o)
+	if res.Error != nil {
+		t.Fatalf("point errored: %s: %s", res.Error.Kind, res.Error.Detail)
+	}
+	if len(res.Measures) != len(allocs) {
+		t.Fatalf("measured %d allocators, want %d: %v", len(res.Measures), len(allocs), res.Measures)
+	}
+	for name, m := range res.Measures {
+		if m.EvictLoads > m.SpillLoads || m.SpillLoads > m.MemOps || m.MemOps > m.SpillOps {
+			t.Fatalf("%s: inconsistent decomposition %+v (want evict ≤ loads ≤ mem ≤ ops)", name, m)
+		}
+	}
+	if !res.Eligible {
+		t.Fatal("tiny/default/7 should be oracle-eligible under default limits")
+	}
+	om := res.Measures["oracle"]
+	if om.SpillOps != res.Optimum || om.Gap != 1.0 {
+		t.Fatalf("oracle exactness broken: measured %d ops (gap %v) against optimum %d",
+			om.SpillOps, om.Gap, res.Optimum)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("default envelopes violated: %+v", res.Violations)
+	}
+}
+
+// TestQualityEnvelopeViolationShrinks drives the failure path: an
+// impossible envelope must surface as a KindQuality violation carrying
+// a shrink-minimized statement budget.
+func TestQualityEnvelopeViolationShrinks(t *testing.T) {
+	g := QualityGrid{
+		Machines:   []string{"tiny"},
+		Profiles:   []string{"high-pressure"},
+		Seeds:      []int64{3},
+		Allocators: []string{"linearscan"},
+	}
+	o := QualityOptions{
+		Envelopes: []Envelope{{
+			// subj > 0×subj − 1 holds for any non-negative count, so
+			// every point violates.
+			Name: "impossible", Subject: "linearscan", Baseline: "linearscan",
+			Metric: MetricSpillOps, Factor: 0, Slack: -1,
+		}},
+	}
+	o.Parallelism = 1
+	rep := RunQuality(g, o, true)
+	if len(rep.Errors) != 0 {
+		t.Fatalf("unexpected errors: %+v", rep.Errors)
+	}
+	if len(rep.Violations) != 1 {
+		t.Fatalf("want exactly one violation, got %+v", rep.Violations)
+	}
+	v := rep.Violations[0]
+	if v.Envelope != "impossible" || v.Kind != KindQuality || v.Cell.Allocator != "linearscan" {
+		t.Fatalf("malformed violation: %+v", v)
+	}
+	if v.MinStmts < 1 {
+		t.Fatalf("violation was not shrunk: MinStmts = %d", v.MinStmts)
+	}
+	// The impossible envelope fires at any budget, so shrinking must
+	// drive it to the minimum.
+	if v.MinStmts != 1 {
+		t.Fatalf("shrinker stopped at %d statements; an always-firing envelope shrinks to 1", v.MinStmts)
+	}
+}
+
+// TestQualityDefaultEnvelopesHold samples the default grid: the shipped
+// envelope calibration must hold with margin, the oracle must be exact
+// on every eligible point, and the report aggregation must be sane.
+func TestQualityDefaultEnvelopesHold(t *testing.T) {
+	g := QualityGrid{
+		Machines:   []string{"tiny", "x86-8", "wide-64"},
+		Profiles:   []string{"default", "high-pressure", "loop-nest"},
+		Seeds:      []int64{1, 2},
+		Allocators: []string{"binpack", "coloring", "linearscan", "oracle", "twopass"},
+	}
+	rep := RunQuality(g, QualityOptions{}, false)
+	if len(rep.Errors) != 0 {
+		t.Fatalf("errors: %+v", rep.Errors)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("default envelopes violated: %+v", rep.Violations)
+	}
+	if rep.Points != 18 {
+		t.Fatalf("want 18 points, got %d", rep.Points)
+	}
+	if rep.Eligible == 0 {
+		t.Fatal("no oracle-eligible points in the sample")
+	}
+	os, ok := rep.Summary["oracle"]
+	if !ok || os.Points != rep.Points {
+		t.Fatalf("oracle summary missing or incomplete: %+v", rep.Summary)
+	}
+	if os.GeomeanGap != 1.0 || os.MaxGap != 1.0 {
+		t.Fatalf("oracle gap should be exactly 1.0 everywhere: %+v", os)
+	}
+	if os.EligiblePoints != rep.Eligible {
+		t.Fatalf("oracle eligible points %d != report eligible %d", os.EligiblePoints, rep.Eligible)
+	}
+}
+
+// TestQualityGridPointsDeterministic pins the enumeration order the
+// JSON report and perfdb series rely on.
+func TestQualityGridPointsDeterministic(t *testing.T) {
+	g := QualityGrid{Machines: []string{"m1", "m2"}, Profiles: []string{"p"}, Seeds: []int64{1, 2}}
+	want := []QualityPoint{
+		{"m1", "p", 1}, {"m1", "p", 2},
+		{"m2", "p", 1}, {"m2", "p", 2},
+	}
+	got := g.Points()
+	if len(got) != len(want) {
+		t.Fatalf("got %d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestQualityConfigErrors: unresolvable point coordinates become
+// config-error results, not panics.
+func TestQualityConfigErrors(t *testing.T) {
+	for _, g := range []QualityGrid{
+		{Machines: []string{"no-such-machine"}, Profiles: []string{"default"}, Seeds: []int64{1}, Allocators: []string{"binpack"}},
+		{Machines: []string{"tiny"}, Profiles: []string{"no-such-profile"}, Seeds: []int64{1}, Allocators: []string{"binpack"}},
+	} {
+		rep := RunQuality(g, QualityOptions{Options: Options{NoShrink: true}}, false)
+		if len(rep.Errors) != 1 || rep.Errors[0].Kind != KindConfigError {
+			t.Fatalf("grid %+v: want one config-error, got %+v", g, rep.Errors)
+		}
+	}
+}

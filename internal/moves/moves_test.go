@@ -182,6 +182,79 @@ func TestFloatClassUsesFMov(t *testing.T) {
 	}
 }
 
+// TestMemoryMemoryChain: a value travels slot → register → register →
+// slot; the chain must be emitted leaf-first so the intermediate
+// registers are vacated before being overwritten.
+func TestMemoryMemoryChain(t *testing.T) {
+	checkTransfers(t, []Transfer{
+		{Temp: 0, Src: slot(100), Dst: reg(0)},
+		{Temp: 1, Src: reg(0), Dst: reg(1)},
+		{Temp: 2, Src: reg(1), Dst: slot(102)},
+	}, noScratch)
+}
+
+// TestSlotSelfTransferDropped: a slot-to-slot transfer is a panic in
+// general (no addressing mode for it), but the degenerate self case is
+// a no-op and must be dropped before that check fires.
+func TestSlotSelfTransferDropped(t *testing.T) {
+	code := Sequence([]Transfer{{Temp: 0, Src: slot(100), Dst: slot(100)}}, noScratch,
+		func(ir.Temp) int { return 100 }, tags)
+	if len(code) != 0 {
+		t.Fatalf("slot self transfer should emit nothing, got %v", code)
+	}
+}
+
+// TestFloatCycleThroughMemory: breaking a float swap without a scratch
+// register must spill through the temporary's own slot, and every
+// register-to-register move it emits must use the float opcode.
+func TestFloatCycleThroughMemory(t *testing.T) {
+	ts := []Transfer{
+		{Temp: 0, Class: target.ClassFloat, Src: reg(10), Dst: reg(11)},
+		{Temp: 1, Class: target.ClassFloat, Src: reg(11), Dst: reg(10)},
+	}
+	code := Sequence(ts, noScratch, func(tmp ir.Temp) int { return 100 + int(tmp) }, tags)
+	sawStore := false
+	for i := range code {
+		switch code[i].Op {
+		case ir.SpillSt:
+			sawStore = true
+		case ir.Mov:
+			t.Fatalf("integer mov in a float cycle: %v", code)
+		}
+	}
+	if !sawStore {
+		t.Fatal("float cycle without scratch should break through memory")
+	}
+	checkTransfers(t, ts, noScratch)
+}
+
+// TestDuplicateDestinationPanics: two transfers writing one location is
+// an allocator bug (one location holds one value); the sequencer must
+// refuse loudly rather than emit order-dependent code.
+func TestDuplicateDestinationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate destination did not panic")
+		}
+	}()
+	Sequence([]Transfer{
+		{Temp: 0, Src: reg(0), Dst: reg(2)},
+		{Temp: 1, Src: reg(1), Dst: reg(2)},
+	}, noScratch, func(ir.Temp) int { return 100 }, tags)
+}
+
+// TestSlotToSlotPanics: a non-degenerate memory-to-memory transfer has
+// no single-instruction encoding and must be rejected.
+func TestSlotToSlotPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("slot-to-slot transfer did not panic")
+		}
+	}()
+	Sequence([]Transfer{{Temp: 0, Src: slot(100), Dst: slot(101)}}, noScratch,
+		func(ir.Temp) int { return 100 }, tags)
+}
+
 // TestRandomPermutations drives the sequencer with random permutations
 // and partial permutations of registers plus slot endpoints.
 func TestRandomPermutations(t *testing.T) {

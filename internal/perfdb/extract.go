@@ -75,6 +75,17 @@ type benchDoc struct {
 			Speedup                float64 `json:"speedup"`
 		} `json:"serve_duel"`
 	} `json:"corpus"`
+	Quality *struct {
+		Points     int `json:"points"`
+		Eligible   int `json:"eligible"`
+		Errors     int `json:"errors"`
+		Violations int `json:"violations"`
+		Summary    map[string]struct {
+			GeomeanGap float64 `json:"geomean_gap"`
+			MaxGap     float64 `json:"max_gap"`
+			SpillOps   int64   `json:"spill_ops"`
+		} `json:"summary"`
+	} `json:"quality"`
 	Cluster *struct {
 		ColdNsPerRequest    int64   `json:"cold_ns_per_request"`
 		WarmNsPerRequest    int64   `json:"warm_ns_per_request"`
@@ -222,6 +233,22 @@ func Extract(data []byte, fallback Meta) (*Record, error) {
 				put("pipeline_alloc_stall_ns", float64(ps.AllocStallNs))
 				put("pipeline_ring_occupancy", ps.AvgRingOccupancy)
 			}
+		}
+	}
+
+	// Quality frontier: each allocator's spill-traffic gap against the
+	// oracle's proven optimum, plus the grid's health counters. A
+	// quality regression (a geomean creeping up, an envelope violation
+	// count going nonzero) trends on the dashboard exactly like a speed
+	// regression.
+	if q := doc.Quality; q != nil {
+		put("quality_points_total", float64(q.Points))
+		put("quality_points_eligible", float64(q.Eligible))
+		put("quality_envelope_violations", float64(q.Violations+q.Errors))
+		for name, s := range q.Summary {
+			put("quality_gap_"+name, s.GeomeanGap)
+			put("quality_gap_max_"+name, s.MaxGap)
+			put("quality_spill_ops_"+name, float64(s.SpillOps))
 		}
 	}
 

@@ -62,6 +62,16 @@ func stampedDoc(t *testing.T, commit string, at time.Time, serveCold, scanNs flo
 			"binary_speedup":        1.25,
 			"json_fallbacks":        0,
 		},
+		"quality": map[string]any{
+			"points":     168,
+			"eligible":   49,
+			"errors":     0,
+			"violations": 0,
+			"summary": map[string]any{
+				"binpack": map[string]any{"geomean_gap": 2.602, "max_gap": 632.0, "spill_ops": 95752},
+				"oracle":  map[string]any{"geomean_gap": 1.0, "max_gap": 1.0, "spill_ops": 34414},
+			},
+		},
 		"resources": Resources{MaxRSSBytes: 64 << 20, UserCPUNs: 9e6, SysCPUNs: 2e6, GCCycles: 5, GCCPUNs: 3e5, HeapAllocBytes: 1 << 20},
 	}
 	data, err := json.Marshal(doc)
@@ -117,6 +127,15 @@ func TestExtractStampedDocument(t *testing.T) {
 		"cluster_json_ns":                    1.5e6,
 		"cluster_binary_speedup":             1.25,
 		"cluster_json_fallbacks":             0,
+		"quality_points_total":               168,
+		"quality_points_eligible":            49,
+		"quality_envelope_violations":        0,
+		"quality_gap_binpack":                2.602,
+		"quality_gap_max_binpack":            632,
+		"quality_spill_ops_binpack":          95752,
+		"quality_gap_oracle":                 1.0,
+		"quality_gap_max_oracle":             1.0,
+		"quality_spill_ops_oracle":           34414,
 		"phase.scan.ns":                      49000,
 		"phase.scan.allocs":                  7,
 		"alloc.wc.wall_ns":                   236367,

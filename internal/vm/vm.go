@@ -34,6 +34,14 @@ type Config struct {
 	// code that keeps a live value in a caller-saved register across a
 	// call misbehaves immediately instead of silently working.
 	Paranoid bool
+	// CountBlocks records how many times each basic block begins
+	// executing, keyed by procedure and block name (names are stable
+	// across Clone and dead-code elimination, so a reference run's
+	// counts join onto the pipeline's cloned procedures). The counts
+	// land in Result.BlockVisits and feed profile-guided cost models —
+	// the optimality oracle weighs a spill decision by exactly these
+	// frequencies.
+	CountBlocks bool
 }
 
 // Counters aggregates dynamic execution statistics.
@@ -78,6 +86,9 @@ type Result struct {
 	Mem []uint64
 	// Steps is the number of instructions executed before returning.
 	Steps int64
+	// BlockVisits maps procedure name → block name → number of times the
+	// block began executing. Nil unless Config.CountBlocks was set.
+	BlockVisits map[string]map[string]int64
 }
 
 // costOf is the fixed cycle model: memory 3, multiply 4, divide 20,
@@ -111,16 +122,30 @@ type frame struct {
 var ErrFuel = errors.New("vm: fuel exhausted")
 
 type machine struct {
-	prog  *ir.Program
-	cfg   Config
-	regs  []uint64
-	mem   []uint64
-	in    []byte
-	inPos int
-	out   []byte
-	steps int64
-	max   int64
-	ctr   Counters
+	prog   *ir.Program
+	cfg    Config
+	regs   []uint64
+	mem    []uint64
+	in     []byte
+	inPos  int
+	out    []byte
+	steps  int64
+	max    int64
+	ctr    Counters
+	visits map[string]map[string]int64
+}
+
+// visit counts one entry into block b of procedure p (CountBlocks only).
+func (m *machine) visit(p *ir.Proc, b *ir.Block) {
+	if m.visits == nil {
+		return
+	}
+	pv := m.visits[p.Name]
+	if pv == nil {
+		pv = make(map[string]int64)
+		m.visits[p.Name] = pv
+	}
+	pv[b.Name]++
 }
 
 // Run executes the program from its main procedure.
@@ -139,6 +164,9 @@ func Run(prog *ir.Program, cfg Config) (*Result, error) {
 	if m.max == 0 {
 		m.max = 500_000_000
 	}
+	if cfg.CountBlocks {
+		m.visits = make(map[string]map[string]int64)
+	}
 	for a, v := range prog.MemInit {
 		m.mem[a] = uint64(v)
 	}
@@ -150,11 +178,12 @@ func Run(prog *ir.Program, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return &Result{
-		Output:   m.out,
-		RetValue: int64(m.regs[cfg.Mach.RetReg(target.ClassInt)]),
-		Counters: m.ctr,
-		Mem:      m.mem,
-		Steps:    m.steps,
+		Output:      m.out,
+		RetValue:    int64(m.regs[cfg.Mach.RetReg(target.ClassInt)]),
+		Counters:    m.ctr,
+		Mem:         m.mem,
+		Steps:       m.steps,
+		BlockVisits: m.visits,
 	}, nil
 }
 
@@ -168,6 +197,7 @@ func (m *machine) call(p *ir.Proc, depth int) error {
 		slots: make([]uint64, p.NumSlots),
 		block: p.Entry(),
 	}
+	m.visit(p, f.block)
 	for {
 		if f.idx >= len(f.block.Instrs) {
 			return fmt.Errorf("vm: %s: fell off block %s", p.Name, f.block.Name)
@@ -185,6 +215,7 @@ func (m *machine) call(p *ir.Proc, depth int) error {
 		case ir.Jmp:
 			f.block = f.block.Succs[0]
 			f.idx = 0
+			m.visit(p, f.block)
 			continue
 		case ir.Br:
 			if int64(m.read(f, in.Uses[0])) != 0 {
@@ -193,6 +224,7 @@ func (m *machine) call(p *ir.Proc, depth int) error {
 				f.block = f.block.Succs[1]
 			}
 			f.idx = 0
+			m.visit(p, f.block)
 			continue
 		case ir.Ret:
 			return nil

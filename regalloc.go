@@ -42,10 +42,11 @@ import (
 	"repro/internal/vm"
 
 	// Imported for their registry side effects: the built-in allocators
-	// self-register under "coloring" and "linearscan" ("binpack" and
-	// "twopass" ride in with the core import above).
+	// self-register under "coloring", "linearscan" and "oracle"
+	// ("binpack" and "twopass" ride in with the core import above).
 	_ "repro/internal/coloring"
 	_ "repro/internal/linearscan"
+	_ "repro/internal/oracle"
 )
 
 // Re-exported IR and machine types. These aliases are the supported way

@@ -8,8 +8,9 @@ import "repro/internal/alloc"
 // goroutines, so they may keep per-instance scratch state. Registering a
 // duplicate or empty name, or a nil factory, is an error.
 //
-// The four built-in allocators self-register as "binpack" (the paper's
-// second-chance binpacking), "twopass", "coloring" and "linearscan".
+// The built-in allocators self-register as "binpack" (the paper's
+// second-chance binpacking), "twopass", "coloring", "linearscan" and
+// "oracle" (the branch-and-bound optimality oracle for small programs).
 func Register(name string, factory func(*Machine) Allocator) error {
 	// Machine and Allocator are aliases of the internal types, so the
 	// signature is already an alloc.Factory.

@@ -1,0 +1,83 @@
+package regalloc_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	regalloc "repro"
+	"repro/internal/alloc"
+	"repro/internal/experiments"
+)
+
+// TestAlgorithmsSortedComplete pins the registry listing contract:
+// every built-in (including the branch-and-bound oracle) is present,
+// the order is sorted, and there are no duplicates — tools print this
+// list verbatim and the conformance grid uses it as an axis.
+func TestAlgorithmsSortedComplete(t *testing.T) {
+	have := regalloc.Algorithms()
+	if !sort.StringsAreSorted(have) {
+		t.Fatalf("Algorithms() not sorted: %v", have)
+	}
+	seen := map[string]bool{}
+	for _, n := range have {
+		if seen[n] {
+			t.Fatalf("duplicate name %q in %v", n, have)
+		}
+		seen[n] = true
+	}
+	for _, want := range []string{"binpack", "coloring", "linearscan", "oracle", "twopass"} {
+		if !seen[want] {
+			t.Errorf("built-in %q missing from registry %v", want, have)
+		}
+	}
+}
+
+// TestMustRegisterDuplicatePanics: the init-time registration helper
+// must panic on a name collision, so two packages claiming the same
+// allocator name fail the program at startup instead of silently
+// shadowing each other.
+func TestMustRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustRegister on a taken name did not panic")
+		}
+		if !strings.Contains(strings.ToLower(strings.TrimSpace(toString(r))), "already registered") {
+			t.Fatalf("panic %v does not explain the duplicate", r)
+		}
+	}()
+	alloc.MustRegister("binpack", func(m *regalloc.Machine) regalloc.Allocator { return nil })
+}
+
+func toString(v any) string {
+	if err, ok := v.(error); ok {
+		return err.Error()
+	}
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return ""
+}
+
+// TestResolveUnknownName: the experiments-layer resolver must reject an
+// unknown allocator with an error that names both the request and the
+// available set.
+func TestResolveUnknownName(t *testing.T) {
+	mach := regalloc.Alpha()
+	if _, err := experiments.Resolve("no-such-allocator", mach); err == nil {
+		t.Fatal("Resolve accepted an unknown allocator")
+	} else if !strings.Contains(err.Error(), "no-such-allocator") {
+		t.Fatalf("error %q does not name the missing allocator", err)
+	}
+	// And every listed name must resolve — the listing and the resolver
+	// cannot drift apart.
+	for _, n := range regalloc.Algorithms() {
+		if strings.HasPrefix(n, "test-") {
+			continue // other tests register throwaway names
+		}
+		if _, err := experiments.Resolve(n, mach); err != nil {
+			t.Errorf("listed allocator %q does not resolve: %v", n, err)
+		}
+	}
+}
